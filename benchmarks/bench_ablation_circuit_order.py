@@ -1,0 +1,56 @@
+"""Ablation: circuit ordering -- ID order vs TSP-style optimization.
+
+The paper's circuit orders hosts by increasing ID for deadlock freedom
+(one reversal, two buffer classes).  A weighted tour (nearest-neighbour +
+2-opt over the host-connectivity graph) shortens the circuit but breaks
+the single-reversal property.  This ablation quantifies both sides of the
+trade: hop length saved vs reversals (extra buffer classes) required.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.core import (
+    HamiltonianCircuit,
+    MulticastGroup,
+    circuit_hop_length,
+)
+from repro.net import UpDownRouting, torus
+from repro.sim import RandomStreams
+
+
+def _run_orders():
+    topo = torus(8, 8)
+    routing = UpDownRouting(topo)
+    stream = RandomStreams(11).stream("groups")
+    trials = scaled(20, minimum=5)
+    stats = {"id": [0, 0], "two_opt": [0, 0]}  # [hop total, reversal total]
+    for trial in range(trials):
+        members = stream.sample(topo.hosts, 10)
+        group = MulticastGroup(1, members)
+        for order in ("id", "two_opt"):
+            circuit = HamiltonianCircuit(group, order=order, routing=routing)
+            stats[order][0] += circuit_hop_length(circuit, routing)
+            stats[order][1] += circuit.reversal_count()
+    return stats, trials
+
+
+def test_ablation_circuit_order(benchmark):
+    stats, trials = benchmark.pedantic(_run_orders, rounds=1, iterations=1)
+    rows = [
+        [order, f"{hops / trials:.1f}", f"{reversals / trials:.2f}"]
+        for order, (hops, reversals) in stats.items()
+    ]
+    print(
+        "\n"
+        + format_table(["order", "mean circuit hops", "mean ID reversals"], rows)
+    )
+
+    id_hops, id_rev = stats["id"]
+    opt_hops, opt_rev = stats["two_opt"]
+    # The optimized tour is never longer...
+    assert opt_hops <= id_hops
+    # ...but the ID order keeps exactly one reversal per circuit (the
+    # two-buffer-class precondition), while 2-opt generally needs more.
+    assert id_rev == trials
+    assert opt_rev >= id_rev

@@ -1,0 +1,51 @@
+"""Ablation: cut-through vs store-and-forward over load (Section 6).
+
+The paper predicts cut-through forwarding wins while ports are usually
+free, and degrades towards store-and-forward as contention makes the
+output port unavailable on head arrival.  This ablation sweeps the
+Hamiltonian scheme both ways and reports the advantage ratio per load,
+locating the point where the advantage is gone.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.traffic import SchemeSetup, fig10_setup, run_load_point
+from repro.core import Scheme
+
+LOADS = [0.02, 0.05, 0.08]
+
+
+def _run():
+    setup = fig10_setup()
+    sf = SchemeSetup("ham-sf", Scheme.HAMILTONIAN, cut_through=False)
+    ct = SchemeSetup("ham-ct", Scheme.HAMILTONIAN, cut_through=True)
+    out = {}
+    for load in LOADS:
+        for scheme in (sf, ct):
+            out[(scheme.name, load)] = run_load_point(
+                scheme,
+                load,
+                setup=setup,
+                warmup_deliveries=scaled(100),
+                measure_deliveries=scaled(400, minimum=50),
+            )
+    return out
+
+
+def test_ablation_cut_through(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    ratios = {}
+    for load in LOADS:
+        sf_lat = results[("ham-sf", load)].mean_multicast_latency
+        ct_lat = results[("ham-ct", load)].mean_multicast_latency
+        ratios[load] = ct_lat / sf_lat
+        rows.append([f"{load:.2f}", f"{sf_lat:.0f}", f"{ct_lat:.0f}",
+                     f"{ratios[load]:.2f}"])
+    print("\n" + format_table(["load", "S&F", "cut-through", "ct/sf"], rows))
+
+    # Big advantage at light load...
+    assert ratios[LOADS[0]] < 0.5
+    # ...which shrinks monotonically-ish as the network loads up.
+    assert ratios[LOADS[-1]] > ratios[LOADS[0]]

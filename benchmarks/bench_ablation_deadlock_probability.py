@@ -1,0 +1,101 @@
+"""The paper's 'work in progress': deadlock probability vs load.
+
+Section 9: 'Work is in progress in evaluating (via simulation) the actual
+contention for buffers (and the probability of deadlocks) in various load
+and traffic pattern conditions.'  This benchmark runs that study: groups
+with blocking (WAIT) admission and one-worm buffer pools, messages
+injected with decreasing spacing (rising load), many seeded trials --
+measuring the fraction of trials that wedge with a single shared pool,
+against the two-buffer-class rule (which must never wedge).
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.core import (
+    AcceptancePolicy,
+    AdapterConfig,
+    MulticastEngine,
+    Scheme,
+)
+from repro.net import WormholeNetwork, torus
+from repro.sim import RandomStreams, Simulator
+
+#: Mean injection spacing in byte-times; smaller = higher load.  The
+#: buffer-wait cycle needs several *distinct* members holding their pools
+#: concurrently, so the interesting regime is spacing below the per-hop
+#: transfer time (~400 byte-times).
+SPACINGS = [2_000, 500, 50]
+MESSAGES_PER_TRIAL = 6
+
+
+def _trial(use_classes: bool, spacing: float, seed: int) -> bool:
+    """Returns True when the trial deadlocked (some message never done)."""
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(
+        sim,
+        net,
+        AdapterConfig(
+            acceptance=AcceptancePolicy.WAIT,
+            buffer_bytes=400.0,
+            use_buffer_classes=use_classes,
+        ),
+        rng=RandomStreams(seed),
+    )
+    members = topo.hosts[:6]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    stream = RandomStreams(seed + 1000).stream("inject")
+    messages = []
+
+    def traffic():
+        origins = list(members)[:MESSAGES_PER_TRIAL]
+        stream.shuffle(origins)
+        for origin in origins:
+            messages.append(engine.multicast(origin=origin, gid=1, length=400))
+            yield sim.timeout(stream.exponential(spacing))
+
+    sim.process(traffic())
+    sim.run(until=3_000_000)
+    return not all(m.complete for m in messages)
+
+
+def _run_study():
+    trials = scaled(12, minimum=6)
+    table = {}
+    for use_classes in (False, True):
+        for spacing in SPACINGS:
+            wedged = sum(
+                _trial(use_classes, spacing, seed) for seed in range(trials)
+            )
+            table[(use_classes, spacing)] = wedged / trials
+    return table, trials
+
+
+def test_ablation_deadlock_probability(benchmark):
+    table, trials = benchmark.pedantic(_run_study, rounds=1, iterations=1)
+    rows = []
+    for spacing in SPACINGS:
+        rows.append(
+            [
+                spacing,
+                f"{table[(False, spacing)]:.0%}",
+                f"{table[(True, spacing)]:.0%}",
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["mean spacing (bt)", "single pool wedged", "two classes wedged"],
+            rows,
+        )
+        + f"\n({trials} seeded trials per cell, 6 messages each)"
+    )
+
+    # The two-buffer-class rule never deadlocks, at any load.
+    assert all(table[(True, s)] == 0.0 for s in SPACINGS)
+    # The single pool wedges with probability growing as spacing shrinks.
+    probabilities = [table[(False, s)] for s in SPACINGS]
+    assert probabilities[-1] > 0.0
+    assert probabilities[-1] >= probabilities[0]

@@ -1,0 +1,78 @@
+"""Ablation: switch-fabric broadcast vs software repeated unicast.
+
+Section 3: 'One instance in which the switch-level multicasting becomes
+attractive is broadcasting' -- the route header degenerates to a unicast
+route to the up/down root plus a single broadcast address byte, and the
+fabric replicates the worm once per link.  This ablation compares, at byte
+granularity, fabric broadcast against the software alternative (one
+unicast per destination from the source) on latency and total link bytes.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.net import torus
+from repro.net.flitlevel import FlitNetwork
+
+
+def _total_link_flits(net: FlitNetwork) -> int:
+    return sum(
+        output.sent_flits
+        for switch in net.switches.values()
+        for output in switch.outputs
+    )
+
+
+def _run_fabric(topo, src, payload):
+    net = FlitNetwork(topo)
+    wid = net.send_broadcast(src, payload_bytes=payload)
+    assert net.run(max_ticks=200_000) == "delivered"
+    record = net.records[wid]
+    completion = max(record.delivered_at.values()) - record.injected_at
+    return completion, _total_link_flits(net)
+
+
+def _run_repeated(topo, src, payload):
+    net = FlitNetwork(topo)
+    wids = [
+        net.send_unicast(src, dst, payload_bytes=payload)
+        for dst in topo.hosts
+        if dst != src
+    ]
+    assert net.run(max_ticks=500_000) == "delivered"
+    first_injected = min(net.records[w].injected_at for w in wids)
+    last_delivered = max(
+        max(net.records[w].delivered_at.values()) for w in wids
+    )
+    return last_delivered - first_injected, _total_link_flits(net)
+
+
+def _run_both():
+    # A 4x4 torus: repeated unicast pays the per-destination path length
+    # (15 destinations x ~4.5 hops) while the broadcast covers each
+    # spanning-tree link exactly once.
+    topo = torus(4, 4)
+    src = topo.hosts[5]
+    payload = scaled(300, minimum=150)
+    return {
+        "fabric-broadcast": _run_fabric(topo, src, payload),
+        "repeated-unicast": _run_repeated(topo, src, payload),
+    }
+
+
+def test_ablation_fabric_broadcast(benchmark):
+    results = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    rows = [
+        [name, f"{latency}", flits]
+        for name, (latency, flits) in results.items()
+    ]
+    print("\n" + format_table(["approach", "completion (ticks)", "link flits"], rows))
+
+    fabric_latency, fabric_flits = results["fabric-broadcast"]
+    repeated_latency, repeated_flits = results["repeated-unicast"]
+    # The fabric replicates in the crossbars: each spanning-tree link
+    # carries the worm once, vs one copy per destination path...
+    assert fabric_flits < 0.75 * repeated_flits
+    # ...and completion is roughly an order of magnitude below the
+    # serialized software approach (317 vs 4571 ticks at default scale).
+    assert fabric_latency < 0.25 * repeated_latency

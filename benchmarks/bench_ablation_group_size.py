@@ -1,0 +1,72 @@
+"""Ablation: latency scaling with group size (the Section 1 argument).
+
+The paper motivates its protocols by the poor scaling of the current
+Myrinet approach -- repeated unicast from the source: the source interface
+is tied up for the whole session, so completion grows linearly in the
+group size, while the circuit pipelines hop by hop and the tree fans out
+in parallel (logarithmic depth).
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.core import AdapterConfig, MulticastEngine, Scheme
+from repro.net import WormholeNetwork, torus
+from repro.sim import Simulator
+
+SIZES = [4, 8, 16, 32]
+SCHEMES = [
+    ("repeated-unicast", Scheme.REPEATED_UNICAST, False),
+    ("hamiltonian-ct", Scheme.HAMILTONIAN, True),
+    ("tree-broadcast", Scheme.TREE_BROADCAST, False),
+]
+
+
+def _completion(scheme: Scheme, cut_through: bool, size: int) -> float:
+    sim = Simulator()
+    topo = torus(8, 8)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(sim, net, AdapterConfig(cut_through=cut_through))
+    members = topo.hosts[:size]
+    engine.create_group(1, members, scheme)
+    message = engine.multicast(origin=members[0], gid=1, length=1_000)
+    sim.run()
+    assert message.complete
+    return message.completion_latency()
+
+
+def _run_matrix():
+    return {
+        (name, size): _completion(scheme, ct, size)
+        for name, scheme, ct in SCHEMES
+        for size in SIZES
+    }
+
+
+def test_ablation_group_size(benchmark):
+    results = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    rows = []
+    for name, _, _ in SCHEMES:
+        rows.append([name] + [f"{results[(name, s)]:.0f}" for s in SIZES])
+    print(
+        "\n"
+        + format_table(["scheme"] + [f"n={s}" for s in SIZES], rows)
+        + "\n(idle-network completion latency, byte-times, 1000-byte message)"
+    )
+
+    # Repeated unicast grows linearly with group size (8x members -> ~8-10x
+    # latency)...
+    ru = [results[("repeated-unicast", s)] for s in SIZES]
+    ru_growth = ru[-1] / ru[0]
+    assert ru_growth > 6
+    # ...the tree grows sub-linearly (parallel fan-out, ~log depth)...
+    tree = [results[("tree-broadcast", s)] for s in SIZES]
+    tree_growth = tree[-1] / tree[0]
+    assert tree_growth < 0.75 * ru_growth
+    # ...and pipelined cut-through on the circuit is nearly flat: the worm
+    # streams through every member concurrently.
+    ct = [results[("hamiltonian-ct", s)] for s in SIZES]
+    assert ct[-1] < 1.5 * ct[0]
+    # At n=32 both of the paper's schemes beat repeated unicast.
+    assert results[("hamiltonian-ct", 32)] < results[("repeated-unicast", 32)]
+    assert results[("tree-broadcast", 32)] < results[("repeated-unicast", 32)]

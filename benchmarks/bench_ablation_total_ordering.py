@@ -1,0 +1,69 @@
+"""Ablation: the latency cost of total ordering (Sections 5/6).
+
+Serializing every message through the lowest-ID host (circuit) or root
+(tree) guarantees all members see the same order, at the price of a relay
+hop and a serialization bottleneck.  This ablation measures the multicast
+latency with and without ordering at a moderate load, and verifies the
+ordered runs really are totally ordered.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.core import (
+    AdapterConfig,
+    MulticastEngine,
+    OrderingChecker,
+    Scheme,
+)
+from repro.net import WormholeNetwork, torus
+from repro.sim import RandomStreams, Simulator
+from repro.traffic import TrafficConfig, TrafficGenerator
+
+
+def _run(scheme: Scheme, ordered: bool, load: float = 0.04):
+    sim = Simulator()
+    topo = torus(8, 8)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(
+        sim, net, AdapterConfig(total_ordering=ordered), rng=RandomStreams(5)
+    )
+    members = RandomStreams(5).stream("members").sample(topo.hosts, 10)
+    engine.create_group(1, members, scheme)
+    checker = OrderingChecker(strict=False)
+    engine.delivery_observer = checker.observe
+    traffic = TrafficGenerator(
+        sim, engine, TrafficConfig(offered_load=load, multicast_fraction=0.2)
+    )
+    traffic.start()
+    target = scaled(500, minimum=100)
+    while engine.delivery_latency.count < target:
+        sim.run(until=sim.now + 100_000)
+    if ordered:
+        checker.check_all()  # raises on a violation
+    return engine.delivery_latency.mean
+
+
+def _run_matrix():
+    out = {}
+    for scheme in (Scheme.HAMILTONIAN, Scheme.TREE):
+        for ordered in (False, True):
+            out[(scheme.value, ordered)] = _run(scheme, ordered)
+    return out
+
+
+def test_ablation_total_ordering(benchmark):
+    results = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    rows = [
+        [scheme, "yes" if ordered else "no", f"{latency:.0f}"]
+        for (scheme, ordered), latency in sorted(results.items())
+    ]
+    print("\n" + format_table(["scheme", "ordered", "mcast latency"], rows))
+
+    # Ordering costs latency (relay + serializer bottleneck) but not
+    # unboundedly so at this load.
+    for scheme in ("hamiltonian", "tree"):
+        unordered = results[(scheme, False)]
+        ordered = results[(scheme, True)]
+        assert ordered > unordered * 0.9
+        assert ordered < unordered * 10

@@ -1,0 +1,73 @@
+"""Crosscheck benchmark: the Figure 10 engine vs byte-level ground truth.
+
+The latency sweeps (Figures 10/11) run on the fast worm-level model; the
+paper's simulator was byte-level.  This benchmark runs the same
+Hamiltonian store-and-forward multicasts on both substrates across several
+origins and lengths and reports the worst-case disagreement -- which must
+stay a small, length-independent constant per hop, validating the
+worm-level abstraction used for the big sweeps.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.core import AdapterConfig, MulticastEngine, Scheme
+from repro.net import UpDownRouting, WormholeNetwork, torus
+from repro.net.flitlevel import FlitNetwork
+from repro.sim import Simulator
+
+
+def _worm_deliveries(topo, routing, members, origin, length):
+    sim = Simulator()
+    net = WormholeNetwork(sim, topo, routing=routing)
+    engine = MulticastEngine(sim, net, AdapterConfig())
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=origin, gid=1, length=length)
+    sim.run()
+    return {h: t - message.created for h, t in message.deliveries.items()}
+
+
+def _flit_deliveries(topo, routing, members, origin, length):
+    net = FlitNetwork(topo, routing=routing)
+    net.create_host_group(1, members)
+    mid = net.send_host_multicast(origin, 1, payload_bytes=length)
+    assert net.run(max_ticks=1_000_000) == "delivered"
+    message = net.messages[mid]
+    return {h: t - message.created for h, t in message.deliveries.items()}
+
+
+def _run_crosscheck():
+    topo = torus(3, 3)
+    routing = UpDownRouting(topo)
+    members = topo.hosts[:5]
+    lengths = [100, 400, 800][: scaled(3, minimum=2)]
+    rows = []
+    worst_rel = 0.0
+    for origin in members[: scaled(3, minimum=2)]:
+        for length in lengths:
+            worm = _worm_deliveries(topo, routing, members, origin, length)
+            flit = _flit_deliveries(topo, routing, members, origin, length)
+            for host in worm:
+                gap = flit[host] - worm[host]
+                rel = gap / flit[host]
+                worst_rel = max(worst_rel, rel)
+                rows.append((origin, length, host, worm[host], flit[host], gap))
+    return rows, worst_rel
+
+
+def test_crosscheck_models(benchmark):
+    rows, worst_rel = benchmark.pedantic(_run_crosscheck, rounds=1, iterations=1)
+    sample = rows[:: max(1, len(rows) // 8)]
+    print(
+        "\n"
+        + format_table(
+            ["origin", "len", "dest", "worm-level", "flit-level", "gap"],
+            [[o, l, h, f"{w:.0f}", f, g] for o, l, h, w, f, g in sample],
+        )
+    )
+    print(f"\nworst relative disagreement: {worst_rel:.1%} over {len(rows)} deliveries")
+
+    # Every flit-level latency is >= the worm-level one (the byte model
+    # pays real header/pipeline costs) and within 15% of it.
+    assert all(g >= 0 for *_rest, g in rows)
+    assert worst_rel < 0.15

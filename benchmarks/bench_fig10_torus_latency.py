@@ -1,0 +1,65 @@
+"""Figure 10: average multicast latency vs offered load on the 8x8 torus.
+
+Three curves: Hamiltonian store-and-forward, Hamiltonian cut-through,
+rooted tree (S&F).  The benchmark regenerates the series and asserts the
+paper's qualitative shape:
+
+* the tree sits below the Hamiltonian S&F curve;
+* cut-through is lowest at light load and loses its edge as load grows
+  (often crossing above the tree);
+* latency rises steeply towards a (low) saturation load, a consequence of
+  up/down root congestion (Section 7.1).
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_results_table, series_by_scheme
+from repro.traffic import fig10_setup, run_load_point
+from repro.traffic.workloads import FIG10_SCHEMES
+
+LOADS = [0.04, 0.06, 0.08]
+
+
+def _run_sweep():
+    setup = fig10_setup()
+    results = []
+    for scheme in FIG10_SCHEMES:
+        for load in LOADS:
+            results.append(
+                run_load_point(
+                    scheme,
+                    load,
+                    setup=setup,
+                    warmup_deliveries=scaled(150),
+                    measure_deliveries=scaled(600, minimum=50),
+                )
+            )
+    return results
+
+
+def test_fig10_torus_latency(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print("\n" + format_results_table(results))
+
+    series = series_by_scheme(results)
+    ham_sf = dict(series["hamiltonian-sf"])
+    ham_ct = dict(series["hamiltonian-ct"])
+    tree = dict(series["tree-sf"])
+
+    light, heavy = LOADS[0], LOADS[-1]
+    # Tree below Hamiltonian S&F (the paper's headline comparison).
+    assert tree[light] < ham_sf[light]
+    assert tree[heavy] < ham_sf[heavy] * 1.5  # saturation noise tolerated
+    # Cut-through wins clearly at light load...
+    assert ham_ct[light] < tree[light]
+    assert ham_ct[light] < 0.5 * ham_sf[light]
+    # ...but loses its advantage at heavy load (Section 7.1).
+    assert ham_ct[heavy] > 0.5 * ham_sf[heavy]
+    # Latency rises with load for every scheme.
+    for points in series.values():
+        latencies = [latency for _, latency in sorted(points)]
+        assert latencies[-1] > latencies[0]
+
+    benchmark.extra_info["series"] = {
+        name: points for name, points in series.items()
+    }

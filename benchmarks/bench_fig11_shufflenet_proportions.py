@@ -1,0 +1,65 @@
+"""Figure 11: delay for varying multicast proportions, 24-node shufflenet.
+
+Tree vs Hamiltonian on the bidirectional shufflenet with 1000-byte-time
+propagation delays, multicast fractions 0.05 and 0.20 (the figure's
+extremes).  Asserts the paper's shape: the Hamiltonian curve sits above
+the tree for every proportion, and delay grows with load and proportion.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_results_table
+from repro.traffic import fig11_setup, run_load_point
+from repro.traffic.workloads import FIG11_SCHEMES
+
+LOADS = [0.03, 0.05, 0.07]
+FRACTIONS = [0.05, 0.20]
+
+
+def _run_sweep():
+    setup = fig11_setup()
+    results = {}
+    for fraction in FRACTIONS:
+        for scheme in FIG11_SCHEMES:
+            for load in LOADS:
+                results[(fraction, scheme.name, load)] = run_load_point(
+                    scheme,
+                    load,
+                    setup=setup,
+                    multicast_fraction=fraction,
+                    warmup_deliveries=scaled(100),
+                    measure_deliveries=scaled(400, minimum=50),
+                )
+    return results
+
+
+def test_fig11_shufflenet_proportions(benchmark):
+    results = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    print("\n" + format_results_table(list(results.values())))
+
+    latency = {
+        key: r.mean_multicast_latency for key, r in results.items()
+    }
+    for fraction in FRACTIONS:
+        for load in LOADS:
+            # The tree stays below the Hamiltonian (Figure 11's main shape).
+            assert (
+                latency[(fraction, "tree", load)]
+                < latency[(fraction, "hamiltonian", load)]
+            ), (fraction, load)
+        for scheme in FIG11_SCHEMES:
+            # Delay grows with load.
+            assert (
+                latency[(fraction, scheme.name, LOADS[-1])]
+                > latency[(fraction, scheme.name, LOADS[0])]
+            )
+    # Delay grows with the multicast proportion at the heaviest load.
+    for scheme in FIG11_SCHEMES:
+        assert (
+            latency[(0.20, scheme.name, LOADS[-1])]
+            > latency[(0.05, scheme.name, LOADS[-1])]
+        )
+
+    # Propagation delays dominate: everything is in the thousands of
+    # byte-times, as in the paper's 3000-10000 range.
+    assert all(value > 1000 for value in latency.values())

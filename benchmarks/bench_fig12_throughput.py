@@ -1,0 +1,52 @@
+"""Figure 12: measured per-host throughput on the Myrinet testbed model.
+
+Single-sender (solid) vs all-send (dashed) curves over packet sizes
+1-8 KB, eight hosts on a Hamiltonian circuit.  Asserts the paper's shape
+and magnitude bands: throughput rising with packet size, ~20 Mb/s at 1 KB
+and >80 Mb/s at 8 KB for the single sender, all-send below single.
+"""
+
+from conftest import repro_scale
+
+from repro.analysis import format_table
+from repro.myrinet import run_throughput_experiment
+
+SIZES = [1024, 2048, 4096, 6144, 8192]
+
+
+def _run_curves():
+    measure_us = 300_000.0 * max(0.2, repro_scale())
+    curves = {}
+    for size in SIZES:
+        curves[(size, "single")] = run_throughput_experiment(
+            size, all_send=False, measure_us=measure_us
+        )
+        curves[(size, "all")] = run_throughput_experiment(
+            size, all_send=True, measure_us=measure_us
+        )
+    return curves
+
+
+def test_fig12_throughput(benchmark):
+    curves = benchmark.pedantic(_run_curves, rounds=1, iterations=1)
+    rows = [
+        [
+            size,
+            f"{curves[(size, 'single')].throughput_mbps_per_host:.1f}",
+            f"{curves[(size, 'all')].throughput_mbps_per_host:.1f}",
+        ]
+        for size in SIZES
+    ]
+    print("\n" + format_table(["bytes", "single Mb/s", "all-send Mb/s"], rows))
+
+    single = [curves[(s, "single")].throughput_mbps_per_host for s in SIZES]
+    allsend = [curves[(s, "all")].throughput_mbps_per_host for s in SIZES]
+    # Rising with packet size (host overhead amortization).
+    assert single == sorted(single)
+    assert allsend[-1] > allsend[0]
+    # Paper's magnitude bands for the single sender.
+    assert 10 < single[0] < 40
+    assert single[-1] > 80
+    # The all-send per-host receive rate sits below the single-sender curve.
+    for s_val, a_val in zip(single, allsend):
+        assert a_val < s_val

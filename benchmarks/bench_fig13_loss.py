@@ -1,0 +1,49 @@
+"""Figure 13: packet loss rate per host on the Myrinet testbed model.
+
+Loss occurs only at the NIC input buffer, only when hosts originate as
+well as forward, and grows with packet size -- the observation that
+motivates the paper's deadlock-free backpressure schemes ('if high
+utilization is to be achieved, some sort of deadlock prevention scheme
+... will be required', Section 8.2).
+"""
+
+from conftest import repro_scale
+
+from repro.analysis import format_table
+from repro.myrinet import run_throughput_experiment
+
+SIZES = [1024, 2048, 4096, 6144, 8192]
+
+
+def _run_curves():
+    measure_us = 300_000.0 * max(0.2, repro_scale())
+    out = {}
+    for size in SIZES:
+        out[(size, "single")] = run_throughput_experiment(
+            size, all_send=False, measure_us=measure_us
+        )
+        out[(size, "all")] = run_throughput_experiment(
+            size, all_send=True, measure_us=measure_us
+        )
+    return out
+
+
+def test_fig13_loss(benchmark):
+    curves = benchmark.pedantic(_run_curves, rounds=1, iterations=1)
+    rows = [
+        [
+            size,
+            f"{curves[(size, 'single')].loss_rate_per_host:.1%}",
+            f"{curves[(size, 'all')].loss_rate_per_host:.1%}",
+        ]
+        for size in SIZES
+    ]
+    print("\n" + format_table(["bytes", "single loss", "all-send loss"], rows))
+
+    # No loss with a single sender at any size.
+    assert all(curves[(s, "single")].loss_rate_per_host == 0.0 for s in SIZES)
+    # All-send loss is substantial at large sizes and grows with size.
+    losses = [curves[(s, "all")].loss_rate_per_host for s in SIZES]
+    assert losses[-1] > 0.05
+    assert losses[-1] >= losses[0]
+    assert losses == sorted(losses)

@@ -1,0 +1,50 @@
+"""Figure 2: multicast source-route encoding -- correctness and speed.
+
+The header encode/decode path runs per worm per switch in the byte-level
+simulator, so it is benchmarked as a microbenchmark (many rounds), using
+the figure's own example tree plus a deep/wide synthetic tree.
+"""
+
+from repro.core import (
+    RouteTree,
+    decode_multicast_route,
+    encode_multicast_route,
+)
+from repro.core.route_encoding import switch_process_header
+
+
+def _fig2_tree() -> RouteTree:
+    sub1 = RouteTree([(2, None), (5, None)])
+    sub21 = RouteTree([(1, None)])
+    sub2 = RouteTree([(4, sub21), (7, None)])
+    return RouteTree([(1, sub1), (3, sub2)])
+
+
+def _wide_tree(fanout: int = 4, depth: int = 3) -> RouteTree:
+    def build(level: int) -> RouteTree:
+        if level == 0:
+            return RouteTree([(port, None) for port in range(fanout)])
+        return RouteTree([(port, build(level - 1)) for port in range(fanout)])
+
+    return build(depth)
+
+
+def test_fig2_encode_decode_roundtrip(benchmark):
+    tree = _fig2_tree()
+
+    def roundtrip():
+        return decode_multicast_route(encode_multicast_route(tree))
+
+    result = benchmark(roundtrip)
+    assert result == tree
+    assert tree.depth_first_ports() == [1, 2, 5, 3, 4, 1, 7]
+
+
+def test_fig2_switch_processing_throughput(benchmark):
+    data = encode_multicast_route(_wide_tree())
+
+    def process():
+        return switch_process_header(data)
+
+    outputs = benchmark(process)
+    assert len(outputs) == 4  # root fanout

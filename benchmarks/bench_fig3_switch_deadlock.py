@@ -1,0 +1,60 @@
+"""Figure 3: the switch-fabric multicast deadlock and its three cures.
+
+Sweeps injection offsets of the figure's multicast/unicast race at byte
+granularity and reports the deadlock rate per scheme.  The base scheme
+must deadlock on part of the offset grid; S1 (tree-restricted routing),
+S2 (interrupt/resume) and S3 (multicast-IDLE flush) must always deliver.
+"""
+
+from conftest import repro_scale
+
+from repro.analysis import format_table
+from repro.core import SwitchScheme, deadlock_rate, sweep_fig3_offsets
+
+
+def _offset_grid():
+    span = 4 if repro_scale() < 2 else 8
+    return dict(mc_delays=range(0, span), uc_delays=range(4, 4 + span))
+
+
+def _run_all_schemes():
+    grid = _offset_grid()
+    return {
+        scheme: sweep_fig3_offsets(scheme, **grid) for scheme in SwitchScheme
+    }
+
+
+def test_fig3_switch_deadlock(benchmark):
+    outcomes = benchmark.pedantic(_run_all_schemes, rounds=1, iterations=1)
+    rows = []
+    for scheme, runs in outcomes.items():
+        rows.append(
+            [
+                scheme.value,
+                f"{deadlock_rate(runs):.0%}",
+                sum(o.flushes for o in runs),
+                sum(1 for o in runs if o.unicast_delivered),
+                len(runs),
+            ]
+        )
+    print(
+        "\n"
+        + format_table(
+            ["scheme", "deadlock rate", "flushes", "unicast ok", "runs"], rows
+        )
+    )
+
+    assert deadlock_rate(outcomes[SwitchScheme.BASE]) > 0
+    for scheme in (
+        SwitchScheme.S1_TREE_RESTRICTED,
+        SwitchScheme.S2_INTERRUPT,
+        SwitchScheme.S3_IDLE_FLUSH,
+    ):
+        assert deadlock_rate(outcomes[scheme]) == 0, scheme
+        assert all(
+            o.multicast_delivered and o.unicast_delivered
+            for o in outcomes[scheme]
+        )
+    # Scheme 3 resolves by flushing unicasts (at least on the offsets where
+    # the base scheme deadlocks).
+    assert sum(o.flushes for o in outcomes[SwitchScheme.S3_IDLE_FLUSH]) > 0

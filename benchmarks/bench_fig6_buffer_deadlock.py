@@ -1,0 +1,74 @@
+"""Figures 6/7: adapter buffer deadlock vs the two-buffer-class rule.
+
+Crossing multicasts with blocking (WAIT) acceptance and one-worm buffer
+pools: a single shared pool deadlocks (Figure 6); the two-class split
+(class 2 on the ID-reversal edge) always delivers (Figure 7).  Also sweeps
+larger groups with concurrent messages from every member.
+"""
+
+from conftest import scaled
+
+from repro.analysis import format_table
+from repro.core import (
+    AcceptancePolicy,
+    AdapterConfig,
+    MulticastEngine,
+    Scheme,
+)
+from repro.net import WormholeNetwork, line, torus
+from repro.sim import Simulator
+
+
+def _run(use_classes: bool, members_count: int, worm_bytes: int = 400):
+    sim = Simulator()
+    topo = line(2) if members_count == 2 else torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    members = topo.hosts[:members_count]
+    engine = MulticastEngine(
+        sim,
+        net,
+        AdapterConfig(
+            acceptance=AcceptancePolicy.WAIT,
+            buffer_bytes=float(worm_bytes),
+            use_buffer_classes=use_classes,
+        ),
+    )
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    messages = [
+        engine.multicast(origin=member, gid=1, length=worm_bytes)
+        for member in members
+    ]
+    sim.run(until=2_000_000)
+    completed = sum(1 for m in messages if m.complete)
+    return completed, len(messages)
+
+
+def _run_matrix():
+    sizes = [2, 4, 6]
+    outcomes = {}
+    for use_classes in (False, True):
+        for count in sizes:
+            outcomes[(use_classes, count)] = _run(use_classes, count)
+    return outcomes
+
+
+def test_fig6_buffer_deadlock(benchmark):
+    outcomes = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    rows = []
+    for (use_classes, count), (completed, total) in sorted(outcomes.items()):
+        rows.append(
+            [
+                "two classes" if use_classes else "single pool",
+                count,
+                f"{completed}/{total}",
+            ]
+        )
+    print("\n" + format_table(["buffers", "group size", "completed"], rows))
+
+    # Figure 7: the two-class rule always delivers everything.
+    for count in (2, 4, 6):
+        completed, total = outcomes[(True, count)]
+        assert completed == total, count
+    # Figure 6: the single pool wedges at least in the crossing-pair case.
+    completed, total = outcomes[(False, 2)]
+    assert completed < total

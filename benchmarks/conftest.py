@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark honours ``REPRO_SCALE`` (float, default 1.0): it scales the
+number of measured deliveries / simulated microseconds so CI runs stay
+bounded while full runs (REPRO_SCALE=5 or more) tighten the statistics.
+"""
+
+import os
+
+import pytest
+
+
+def repro_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+@pytest.fixture
+def scale() -> float:
+    return repro_scale()
+
+
+def scaled(base: int, minimum: int = 20) -> int:
+    """Scale an effort knob by REPRO_SCALE with a floor."""
+    return max(minimum, int(base * repro_scale()))

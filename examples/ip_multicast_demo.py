@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Multicast IP over the wormhole LAN (Section 8.1).
+
+Models the paper's driver-level interoperation: class D IP addresses map to
+8-bit Myrinet multicast groups by their low byte, Myrinet groups are
+maintained as the union of colliding IP groups, and receivers filter at the
+IP layer.  The demo runs two IP sessions whose addresses collide in the low
+eight bits -- a whiteboard ('wb') and a video tool ('nv'), the applications
+the paper demonstrated -- over one shared Myrinet group.
+
+Run:  python examples/ip_multicast_demo.py
+"""
+
+from repro.core import (
+    AdapterConfig,
+    IpGroupMapper,
+    MulticastEngine,
+    Scheme,
+    myrinet_group_of,
+)
+from repro.net import WormholeNetwork, torus
+from repro.sim import Simulator
+
+WHITEBOARD = "224.2.0.7"   # 'wb' session
+VIDEO = "239.99.1.7"       # 'nv' session -- same low byte!
+
+
+def main() -> None:
+    sim = Simulator()
+    topology = torus(4, 4)
+    network = WormholeNetwork(sim, topology)
+    engine = MulticastEngine(sim, network, AdapterConfig(total_ordering=True))
+    hosts = topology.hosts
+
+    mapper = IpGroupMapper()
+    wb_members = hosts[0:4]
+    nv_members = hosts[2:6]          # overlaps wb on hosts[2:4]
+    for host in wb_members:
+        mapper.join(WHITEBOARD, host)
+    for host in nv_members:
+        mapper.join(VIDEO, host)
+
+    gid = myrinet_group_of(WHITEBOARD)
+    assert gid == myrinet_group_of(VIDEO) == 7
+    union = mapper.members_of_myrinet_group(gid)
+    print(f"IP group {WHITEBOARD} ('wb') members: {wb_members}")
+    print(f"IP group {VIDEO} ('nv') members: {nv_members}")
+    print(f"Myrinet group {gid} = union of both: {union}\n")
+
+    engine.create_group(gid, union, Scheme.HAMILTONIAN)
+
+    # Deliveries filtered at the receiving IP layer.
+    passed = {WHITEBOARD: [], VIDEO: []}
+    filtered = []
+
+    def observer(host, worm, message, when):
+        address = message.payload
+        if mapper.accepts(host, gid, address):
+            passed[address].append(host)
+        else:
+            filtered.append((host, address))
+
+    engine.delivery_observer = observer
+    wb_message = engine.multicast(
+        origin=wb_members[0], gid=gid, length=512, payload=WHITEBOARD
+    )
+    nv_message = engine.multicast(
+        origin=nv_members[-1], gid=gid, length=2048, payload=VIDEO
+    )
+    sim.run()
+
+    assert wb_message.complete and nv_message.complete
+    print(f"'wb' packet passed up at:   {sorted(passed[WHITEBOARD])}")
+    print(f"'nv' packet passed up at:   {sorted(passed[VIDEO])}")
+    print(f"filtered by the IP layer:   {sorted(filtered)}")
+    print(
+        "\nEvery union member received both worms on the wire (reliable "
+        "network-level\nmulticast), but the IP layer dropped the sessions a "
+        "host never joined --\nexactly the paper's low-eight-bits mapping "
+        "with receiver-side filtering."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Figures 12 and 13: throughput and loss on the Myrinet testbed model.
+
+Reproduces the paper's measurements on a calibrated model of the real
+testbed (four switches, eight SPARCstation-5 hosts, Hamiltonian-circuit
+multicast in the LANai firmware):
+
+* Figure 12 -- per-host throughput vs packet size, single sender (solid
+  curve) and all-send (dashed curve);
+* Figure 13 -- input-buffer loss rate per host (all-send only).
+
+Run:  python examples/myrinet_testbed.py
+"""
+
+from repro.analysis import format_table
+from repro.myrinet import run_throughput_experiment
+
+
+def main() -> None:
+    sizes = [1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192]
+    rows = []
+    for size in sizes:
+        single = run_throughput_experiment(size, all_send=False)
+        allsend = run_throughput_experiment(size, all_send=True)
+        rows.append(
+            [
+                size,
+                f"{single.throughput_mbps_per_host:.1f}",
+                f"{allsend.throughput_mbps_per_host:.1f}",
+                f"{single.loss_rate_per_host:.1%}",
+                f"{allsend.loss_rate_per_host:.1%}",
+            ]
+        )
+    print("Myrinet testbed: 8 hosts on a Hamiltonian circuit, greedy senders")
+    print("(Figure 12 throughput curves; Figure 13 loss curve)\n")
+    print(
+        format_table(
+            ["bytes", "single Mb/s", "all-send Mb/s", "single loss", "all-send loss"],
+            rows,
+        )
+    )
+    print(
+        "\nPaper shape checks (Sections 8.2):\n"
+        "  * throughput grows with packet size (per-packet host overhead"
+        " amortizes);\n"
+        "  * the all-send receive rate per host sits below the single-sender"
+        " curve;\n"
+        "  * no input-buffer loss with a single sender;\n"
+        "  * loss appears only when hosts originate AND forward, growing"
+        " with packet size\n"
+        "    -- the experimental argument for the paper's deadlock-free"
+        " backpressure schemes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: reliable multicast on a wormhole LAN in ~40 lines.
+
+Builds an 8x8 torus of crossbar switches (one host per switch, as in the
+paper's simulations), creates a multicast group with each of the three
+host-adapter schemes, sends a message, and prints the per-destination
+latencies in byte-times (1 byte-time = one byte on a 640 Mb/s link).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.core import AdapterConfig, MulticastEngine, Scheme
+from repro.net import WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+def run_one(scheme: Scheme, cut_through: bool = False) -> dict:
+    sim = Simulator()
+    topology = torus(8, 8)
+    network = WormholeNetwork(sim, topology)
+    engine = MulticastEngine(
+        sim, network, AdapterConfig(cut_through=cut_through)
+    )
+    members = topology.hosts[:10]
+    engine.create_group(gid=1, members=members, scheme=scheme)
+
+    message = engine.multicast(origin=members[3], gid=1, length=400)
+    sim.run()
+
+    assert message.complete, "reliable multicast: every member must receive"
+    latencies = sorted(message.deliveries.values())
+    return {
+        "scheme": scheme.value + ("+cut-through" if cut_through else ""),
+        "first": latencies[0] - message.created,
+        "last": message.completion_latency(),
+        "mean": sum(t - message.created for t in latencies) / len(latencies),
+    }
+
+
+def main() -> None:
+    rows = []
+    for scheme, ct in [
+        (Scheme.HAMILTONIAN, False),
+        (Scheme.HAMILTONIAN, True),
+        (Scheme.TREE, False),
+        (Scheme.TREE_BROADCAST, False),
+    ]:
+        result = run_one(scheme, ct)
+        rows.append(
+            [result["scheme"], f"{result['first']:.0f}",
+             f"{result['mean']:.0f}", f"{result['last']:.0f}"]
+        )
+    print("One 400-byte multicast to a 10-member group on an idle 8x8 torus")
+    print("(latencies in byte-times; 1 byte-time = 12.5 ns at 640 Mb/s)\n")
+    print(format_table(["scheme", "first", "mean", "completion"], rows))
+    print(
+        "\nNote the paper's Section 6 prediction: the Hamiltonian circuit "
+        "with cut-through wins\non an idle network, while the tree's "
+        "parallelism pays off as load (or group size) grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Three reliability designs on one lossy wormhole network.
+
+The paper's closing discussion weighs where reliability should live.  This
+demo injects 10% worm loss and runs the same 20-message multicast stream
+through:
+
+1. fire-and-forget (network-level multicast, no protection);
+2. Section 5's circuit-return confirmation + timeout retransmission;
+3. the [FJM+95] transport-level request/repair scheme over an unreliable
+   chain.
+
+Run:  python examples/reliability_designs.py
+"""
+
+from repro.analysis import format_table
+from repro.core import (
+    AdapterConfig,
+    MulticastEngine,
+    RepairConfig,
+    RepairSession,
+    Scheme,
+)
+from repro.net import WormholeNetwork, torus
+from repro.sim import Simulator
+
+LOSS = 0.10
+MESSAGES = 20
+
+
+def engine_run(confirm: bool):
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo, loss_rate=LOSS, loss_seed=5)
+    config = AdapterConfig(
+        confirm_return=confirm, confirm_timeout=20_000.0 if confirm else None
+    )
+    engine = MulticastEngine(sim, net, config)
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    messages = []
+
+    def traffic():
+        for _ in range(MESSAGES):
+            messages.append(engine.multicast(origin=members[0], gid=1, length=300))
+            yield sim.timeout(2_000)
+
+    sim.process(traffic())
+    sim.run(until=60_000_000)
+    complete = [m for m in messages if m.complete]
+    latency = (
+        sum(m.completion_latency() for m in complete) / len(complete)
+        if complete
+        else float("nan")
+    )
+    return len(complete) / MESSAGES, latency, engine.confirm_retransmissions
+
+
+def transport_run():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo, loss_rate=LOSS, loss_seed=5)
+    members = topo.hosts[:5]
+    session = RepairSession(
+        sim, net, members, RepairConfig(heartbeat_period=15_000.0)
+    )
+
+    def traffic():
+        for _ in range(MESSAGES):
+            session.send(length=300)
+            yield sim.timeout(2_000)
+
+    sim.process(traffic())
+    sim.run(until=60_000_000)
+    done = [s for s in range(MESSAGES) if session.complete(s)]
+    latency = sum(session.latency(s) for s in done) / len(done) if done else 0.0
+    return len(done) / MESSAGES, latency, session.requests_sent + session.repairs_sent
+
+
+def main() -> None:
+    print(f"{MESSAGES} multicasts to a 5-member group, {LOSS:.0%} worm loss\n")
+    rows = []
+    delivered, latency, extra = engine_run(confirm=False)
+    rows.append(["fire-and-forget", f"{delivered:.0%}", f"{latency:.0f}", extra])
+    delivered, latency, extra = engine_run(confirm=True)
+    rows.append(["circuit confirm+retx", f"{delivered:.0%}", f"{latency:.0f}", extra])
+    delivered, latency, extra = transport_run()
+    rows.append(["transport request/repair", f"{delivered:.0%}", f"{latency:.0f}", extra])
+    print(format_table(["design", "delivered", "mean latency", "extra worms"], rows))
+    print(
+        "\nThe paper's trade-off, measured: unprotected multicast silently\n"
+        "loses messages; the Section 5 circuit confirmation recovers all of\n"
+        "them at a per-message cost; the [FJM+95] transport repair also\n"
+        "recovers everything and pays only when something was actually lost."
+    )
+
+
+if __name__ == "__main__":
+    main()

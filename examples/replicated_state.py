@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Totally ordered multicast keeping replicated state consistent.
+
+The paper's introduction motivates reliable, ordered multicast with
+distributed algorithms and Distributed Interactive Simulation.  This demo
+builds the textbook application on top of the library: a replicated
+register machine whose state changes only via multicast operations.  With
+*totally ordered* multicast (all of a group's messages serialized through
+its lowest-ID member, which stamps sequence numbers), every replica applies
+the same operations in the same order and converges to identical state.
+Without ordering, concurrent updates interleave differently at different
+replicas and the states diverge.
+
+Run:  python examples/replicated_state.py
+"""
+
+from repro.core import AdapterConfig, MulticastEngine, Scheme
+from repro.net import WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+class Replica:
+    """One host's copy of the shared state, applied in sequence order."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.applied = []
+        self._pending = {}
+        self._next = 0
+
+    def submit(self, seqno, operation) -> None:
+        """Hold back until every earlier-sequenced operation has applied."""
+        self._pending[seqno] = operation
+        while self._next in self._pending:
+            kind, operand = self._pending.pop(self._next)
+            if kind == "add":
+                self.value += operand
+            elif kind == "mul":
+                self.value *= operand
+            self.applied.append((kind, operand))
+            self._next += 1
+
+    def apply_unordered(self, operation) -> None:
+        kind, operand = operation
+        if kind == "add":
+            self.value += operand
+        elif kind == "mul":
+            self.value *= operand
+        self.applied.append(operation)
+
+
+def run(total_ordering: bool, seed_ops) -> dict:
+    sim = Simulator()
+    topology = torus(4, 4)
+    network = WormholeNetwork(sim, topology)
+    engine = MulticastEngine(
+        sim, network, AdapterConfig(total_ordering=total_ordering)
+    )
+    members = topology.hosts[:6]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    replicas = {host: Replica() for host in members}
+
+    def observer(host, worm, message, when):
+        if total_ordering:
+            replicas[host].submit(worm.seqno, message.payload)
+        else:
+            replicas[host].apply_unordered(message.payload)
+
+    engine.delivery_observer = observer
+
+    def originate_all():
+        for origin, operation in seed_ops:
+            message = engine.multicast(
+                origin=origin, gid=1, length=128, payload=operation
+            )
+            if total_ordering:
+                # A flood never returns to its origin: once the serializer
+                # assigns the seqno, the origin slots its own operation
+                # into its local sequence like everyone else.
+                def feed_origin(msg=message, origin=origin, op=operation):
+                    while msg.seqno is None:
+                        yield sim.timeout(20)
+                    replicas[origin].submit(msg.seqno, op)
+
+                sim.process(feed_origin())
+            else:
+                replicas[origin].apply_unordered(operation)
+            yield sim.timeout(0)  # all operations race concurrently
+
+    sim.process(originate_all())
+    sim.run(until=10_000_000)
+    return {host: replica.value for host, replica in replicas.items()}
+
+
+def main() -> None:
+    topology = torus(4, 4)
+    members = topology.hosts[:6]
+    # add/mul do not commute: interleaving order changes the result.
+    seed_ops = [
+        (members[0], ("add", 5)),
+        (members[3], ("mul", 3)),
+        (members[5], ("add", 2)),
+        (members[2], ("mul", 2)),
+    ]
+
+    print("Replicated register machine over 6 hosts; concurrent operations:")
+    for origin, op in seed_ops:
+        print(f"  host {origin}: {op[0]} {op[1]}")
+
+    unordered = run(total_ordering=False, seed_ops=seed_ops)
+    ordered = run(total_ordering=True, seed_ops=seed_ops)
+
+    print("\nWithout total ordering (free-running Hamiltonian circuit):")
+    print(f"  distinct replica values: {sorted(set(unordered.values()))}")
+    print("With total ordering (serialized through the lowest-ID member):")
+    print(f"  distinct replica values: {sorted(set(ordered.values()))}")
+
+    assert len(set(ordered.values())) == 1, "ordered replicas must agree"
+    print(
+        "\nAll ordered replicas converged to the same value -- the property\n"
+        "distributed simulation and replicated services need, provided at\n"
+        "the network level by the paper's serialized multicast."
+    )
+    if len(set(unordered.values())) > 1:
+        print(
+            "(The unordered run diverged on this schedule, showing why raw\n"
+            "concurrent multicasts are not enough.)"
+        )
+    else:
+        print(
+            "(The unordered run happened to agree on this schedule; its\n"
+            "ordering is not guaranteed -- see tests/core/test_ordering.py.)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""One-shot driver: regenerate every evaluation figure into results/.
+
+Runs the Figure 10 and Figure 11 sweeps (reduced grid by default; scale up
+with REPRO_SCALE), the Figure 12/13 testbed curves, and the Figure 3
+scheme comparison, saving JSON under ``results/`` and printing each series
+as a terminal chart so the curve shapes can be eyeballed against the
+paper.
+
+Run:  python examples/reproduce_figures.py          (~2 minutes)
+      REPRO_SCALE=3 python examples/reproduce_figures.py
+"""
+
+import os
+from pathlib import Path
+
+from repro.analysis import (
+    ascii_chart,
+    format_results_table,
+    save_results,
+    series_by_scheme,
+)
+from repro.core import SwitchScheme, deadlock_rate, sweep_fig3_offsets
+from repro.myrinet import run_throughput_experiment
+from repro.traffic import fig10_setup, fig11_setup, run_load_point
+from repro.traffic.workloads import FIG10_SCHEMES, FIG11_SCHEMES
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+SCALE = float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(base: int, minimum: int = 30) -> int:
+    return max(minimum, int(base * SCALE))
+
+
+def figure_10() -> None:
+    print("=" * 70)
+    print("Figure 10: multicast latency vs offered load (8x8 torus)")
+    print("=" * 70)
+    setup = fig10_setup()
+    loads = [0.04, 0.06, 0.08]
+    results = []
+    for scheme in FIG10_SCHEMES:
+        for load in loads:
+            results.append(
+                run_load_point(
+                    scheme,
+                    load,
+                    setup=setup,
+                    warmup_deliveries=scaled(150),
+                    measure_deliveries=scaled(600),
+                )
+            )
+    save_results(results, RESULTS / "fig10.json", meta={"scale": SCALE})
+    print(format_results_table(results))
+    print()
+    print(
+        ascii_chart(
+            series_by_scheme(results),
+            x_label="offered load",
+            y_label="latency (byte-times, log)",
+            logy=True,
+        )
+    )
+    print()
+
+
+def figure_11() -> None:
+    print("=" * 70)
+    print("Figure 11: delay vs load / multicast proportion (24-node shufflenet)")
+    print("=" * 70)
+    setup = fig11_setup()
+    results = []
+    for fraction in (0.05, 0.20):
+        for scheme in FIG11_SCHEMES:
+            for load in (0.03, 0.05, 0.07):
+                results.append(
+                    run_load_point(
+                        scheme,
+                        load,
+                        setup=setup,
+                        multicast_fraction=fraction,
+                        warmup_deliveries=scaled(100),
+                        measure_deliveries=scaled(400),
+                    )
+                )
+    save_results(results, RESULTS / "fig11.json", meta={"scale": SCALE})
+    print(format_results_table(results))
+    series = {
+        f"{r.scheme} p={r.multicast_fraction}": []
+        for r in results
+    }
+    for r in results:
+        series[f"{r.scheme} p={r.multicast_fraction}"].append(
+            (r.offered_load, r.mean_multicast_latency)
+        )
+    print()
+    print(ascii_chart(series, x_label="offered load", y_label="delay"))
+    print()
+
+
+def figures_12_13() -> None:
+    print("=" * 70)
+    print("Figures 12/13: Myrinet testbed throughput and loss")
+    print("=" * 70)
+    sizes = [1024, 2048, 4096, 6144, 8192]
+    measure_us = 300_000.0 * max(0.5, SCALE)
+    rows = {"single": [], "all-send": [], "loss": []}
+    for size in sizes:
+        single = run_throughput_experiment(size, all_send=False, measure_us=measure_us)
+        allsend = run_throughput_experiment(size, all_send=True, measure_us=measure_us)
+        rows["single"].append((size, single.throughput_mbps_per_host))
+        rows["all-send"].append((size, allsend.throughput_mbps_per_host))
+        rows["loss"].append((size, allsend.loss_rate_per_host * 100))
+    print(
+        ascii_chart(
+            {"single": rows["single"], "all-send": rows["all-send"]},
+            x_label="packet bytes",
+            y_label="Mb/s per host",
+        )
+    )
+    print()
+    print(
+        ascii_chart(
+            {"all-send loss %": rows["loss"]},
+            x_label="packet bytes",
+            y_label="loss %",
+        )
+    )
+    (RESULTS / "fig12_13.txt").parent.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "fig12_13.txt").write_text(
+        "\n".join(
+            f"{size} single={s:.1f} allsend={a:.1f} loss={l:.1f}%"
+            for (size, s), (_, a), (_, l) in zip(
+                rows["single"], rows["all-send"], rows["loss"]
+            )
+        )
+    )
+    print()
+
+
+def figure_3() -> None:
+    print("=" * 70)
+    print("Figure 3: switch-fabric deadlock rates per scheme (byte-level)")
+    print("=" * 70)
+    lines = []
+    for scheme in SwitchScheme:
+        outcomes = sweep_fig3_offsets(
+            scheme, mc_delays=range(0, 4), uc_delays=range(4, 8)
+        )
+        line = f"{scheme.value:20s} deadlock rate {deadlock_rate(outcomes):4.0%}"
+        print("  " + line)
+        lines.append(line)
+    (RESULTS / "fig3.txt").write_text("\n".join(lines))
+    print()
+
+
+def main() -> None:
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    figure_10()
+    figure_11()
+    figures_12_13()
+    figure_3()
+    print(f"All figure data saved under {RESULTS}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Figure 10 (reduced): average multicast latency vs offered load, 8x8 torus.
+
+Reproduces the paper's Figure 10 experiment at reduced statistical effort
+so it finishes in about a minute: ten random groups of ten members,
+10% multicast fraction, geometric worm lengths (mean 400 bytes), and the
+three schemes -- Hamiltonian store-and-forward, Hamiltonian cut-through,
+rooted tree (broadcast-on-tree variant).
+
+Environment:
+    REPRO_SCALE   scales the number of measured deliveries (default 1.0)
+
+Run:  python examples/torus_sweep.py
+"""
+
+import os
+
+from repro.analysis import crossover_point, format_results_table, series_by_scheme
+from repro.traffic import fig10_setup, run_load_point
+from repro.traffic.workloads import FIG10_SCHEMES
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", "1.0"))
+    setup = fig10_setup()
+    loads = [0.04, 0.06, 0.08, 0.10]
+    results = []
+    for scheme in FIG10_SCHEMES:
+        for load in loads:
+            result = run_load_point(
+                scheme,
+                load,
+                setup=setup,
+                warmup_deliveries=max(20, int(150 * scale)),
+                measure_deliveries=max(50, int(600 * scale)),
+            )
+            results.append(result)
+            print(
+                f"  measured {result.scheme:15s} load={load:.2f}  "
+                f"latency={result.mean_multicast_latency:8.0f} byte-times"
+            )
+
+    print("\n" + format_results_table(results))
+
+    series = series_by_scheme(results)
+    crossover = crossover_point(series["hamiltonian-ct"], series["tree-sf"])
+    print(
+        "\nPaper shape checks (Figure 10):\n"
+        f"  tree below Hamiltonian S&F at light load: "
+        f"{series['tree-sf'][0][1] < series['hamiltonian-sf'][0][1]}\n"
+        f"  cut-through lowest at light load:         "
+        f"{series['hamiltonian-ct'][0][1] < series['tree-sf'][0][1]}\n"
+        f"  cut-through / tree crossover near:        "
+        f"{crossover if crossover is not None else 'not in sweep range'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

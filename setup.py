@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept so `pip install -e .` works on environments whose setuptools lacks the
+PEP 660 editable-wheel backend (no `wheel` package available offline):
+    pip install -e . --no-build-isolation --no-use-pep517
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

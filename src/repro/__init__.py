@@ -1,0 +1,42 @@
+"""Reproduction of *Multicasting Protocols for High-Speed, Wormhole-Routing
+Local Area Networks* (Gerla, Palnati, Walton; ACM SIGCOMM 1996).
+
+Package layout
+--------------
+``repro.sim``
+    Discrete-event simulation kernel (the Maisie substitute).
+``repro.net``
+    The wormhole LAN substrate: topologies, up/down routing, the fast
+    worm-level transfer engine, and the byte-granular flit-level model
+    (slack buffers, STOP/GO, crossbar multicast).
+``repro.core``
+    The paper's protocols: Hamiltonian-circuit and rooted-tree host-adapter
+    multicasting with implicit buffer reservation and two-buffer-class
+    deadlock prevention; the three switch-fabric multicast schemes; total
+    ordering; multicast-IP interoperation.
+``repro.traffic``
+    Poisson workloads and the Figure 10/11 experiment recipes.
+``repro.myrinet``
+    The calibrated 4-switch / 8-host Myrinet testbed model (Figures 12/13).
+``repro.analysis``
+    Result tables and curve analysis.
+
+Quickstart
+----------
+>>> from repro.sim import Simulator
+>>> from repro.net import torus, WormholeNetwork
+>>> from repro.core import MulticastEngine, Scheme
+>>> sim = Simulator()
+>>> topo = torus(4, 4)
+>>> net = WormholeNetwork(sim, topo)
+>>> engine = MulticastEngine(sim, net)
+>>> state = engine.create_group(1, topo.hosts[:6], Scheme.HAMILTONIAN)
+>>> message = engine.multicast(origin=topo.hosts[0], gid=1, length=400)
+>>> sim.run()
+>>> message.complete
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""Result formatting and output analysis shared by examples and benches."""
+
+from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.persistence import load_meta, load_results, save_results
+from repro.analysis.results import (
+    crossover_point,
+    format_results_table,
+    format_table,
+    series_by_scheme,
+)
+
+__all__ = [
+    "ascii_chart",
+    "crossover_point",
+    "format_results_table",
+    "format_table",
+    "load_meta",
+    "load_results",
+    "save_results",
+    "series_by_scheme",
+]

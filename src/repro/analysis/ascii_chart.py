@@ -1,0 +1,88 @@
+"""Terminal line charts for experiment series.
+
+The paper's figures are latency-vs-load curves; these helpers render the
+same series as ASCII so examples and the reproduction driver can show the
+curve shapes without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: Plot glyphs assigned to series in order.
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Series],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+    logy: bool = False,
+) -> str:
+    """Render named (x, y) series on a shared-axis ASCII grid.
+
+    Points are plotted with one glyph per series; collisions show the
+    later series' glyph.  ``logy`` uses a log10 y-axis (useful for the
+    saturation blow-ups of Figure 10).
+    """
+    cleaned = {
+        name: [(x, y) for x, y in points if _finite(x) and _finite(y)]
+        for name, points in series.items()
+    }
+    cleaned = {name: pts for name, pts in cleaned.items() if pts}
+    if not cleaned:
+        return "(no data)"
+    if logy and any(y <= 0 for pts in cleaned.values() for _, y in pts):
+        raise ValueError("log y-axis requires positive values")
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [y for pts in cleaned.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if logy:
+        y_lo, y_hi = math.log10(y_lo), math.log10(y_hi)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(cleaned.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in points:
+            yv = math.log10(y) if logy else y
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((yv - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    y_hi_label = f"{10 ** y_hi:.3g}" if logy else f"{y_hi:.3g}"
+    y_lo_label = f"{10 ** y_lo:.3g}" if logy else f"{y_lo:.3g}"
+    margin = max(len(y_hi_label), len(y_lo_label), len(y_label)) + 1
+    lines: List[str] = []
+    if y_label:
+        lines.append(f"{y_label}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def _finite(value: float) -> bool:
+    return isinstance(value, (int, float)) and math.isfinite(value)

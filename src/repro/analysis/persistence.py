@@ -1,0 +1,47 @@
+"""Save and reload experiment results as JSON.
+
+The reproduction driver (``examples/reproduce_figures.py``) records every
+regenerated figure under ``results/`` so runs can be diffed across code
+changes or REPRO_SCALE settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.traffic.workloads import ExperimentResult
+
+
+def save_results(
+    results: List[ExperimentResult], path: Union[str, Path], meta: dict = None
+) -> Path:
+    """Write results (plus free-form metadata) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "meta": meta or {},
+        "results": [dataclasses.asdict(result) for result in results],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> List[ExperimentResult]:
+    """Reload results written by :func:`save_results`."""
+    payload = json.loads(Path(path).read_text())
+    fields = {f.name for f in dataclasses.fields(ExperimentResult)}
+    results = []
+    for entry in payload["results"]:
+        unknown = set(entry) - fields
+        if unknown:
+            raise ValueError(f"unknown result fields in {path}: {sorted(unknown)}")
+        results.append(ExperimentResult(**entry))
+    return results
+
+
+def load_meta(path: Union[str, Path]) -> dict:
+    """The metadata block of a saved results file."""
+    return json.loads(Path(path).read_text()).get("meta", {})

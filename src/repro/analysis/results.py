@@ -1,0 +1,108 @@
+"""Plain-text tables and simple curve analysis for experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.traffic.workloads import ExperimentResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align ``rows`` under ``headers`` (numbers right-aligned)."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}" if abs(cell) >= 100 else f"{cell:.3f}"
+    return str(cell)
+
+
+def series_by_scheme(
+    results: Sequence[ExperimentResult],
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Group (offered load, mean multicast latency) points per scheme."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for result in results:
+        series.setdefault(result.scheme, []).append(
+            (result.offered_load, result.mean_multicast_latency)
+        )
+    for points in series.values():
+        points.sort()
+    return series
+
+
+def format_results_table(results: Sequence[ExperimentResult]) -> str:
+    """The standard experiment table (one row per (scheme, load) point)."""
+    headers = [
+        "scheme",
+        "load",
+        "mc_frac",
+        "mcast_latency",
+        "completion",
+        "unicast",
+        "utilization",
+        "deliveries",
+    ]
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.scheme,
+                f"{r.offered_load:.2f}",
+                f"{r.multicast_fraction:.2f}",
+                f"{r.mean_multicast_latency:.0f}",
+                f"{r.mean_completion_latency:.0f}",
+                f"{r.mean_unicast_latency:.0f}",
+                f"{r.mean_channel_utilization:.3f}",
+                r.deliveries,
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def crossover_point(
+    series_a: Sequence[Tuple[float, float]],
+    series_b: Sequence[Tuple[float, float]],
+) -> Optional[float]:
+    """The x where curve ``a`` crosses from below ``b`` to above it.
+
+    Used to locate the cut-through / tree crossover the paper predicts in
+    Figure 10 (linear interpolation between sample points; None when the
+    curves never cross on the common domain).
+    """
+    xs = sorted(set(x for x, _ in series_a) & set(x for x, _ in series_b))
+    if len(xs) < 2:
+        return None
+    a = dict(series_a)
+    b = dict(series_b)
+    previous_sign = None
+    for index, x in enumerate(xs):
+        diff = a[x] - b[x]
+        sign = diff > 0
+        if previous_sign is not None and sign and not previous_sign:
+            x0, x1 = xs[index - 1], x
+            d0 = a[x0] - b[x0]
+            d1 = diff
+            if d1 == d0:
+                return x0
+            return x0 + (x1 - x0) * (-d0) / (d1 - d0)
+        previous_sign = sign
+    return None

@@ -1,0 +1,104 @@
+"""The paper's contribution: deadlock-free reliable multicast protocols.
+
+Host-adapter schemes (Sections 4-6):
+
+* :mod:`~repro.core.groups` -- multicast group tables (8-bit Myrinet ids).
+* :mod:`~repro.core.hamiltonian` -- Hamiltonian-circuit multicasting.
+* :mod:`~repro.core.tree` -- rooted-tree multicasting (root-start and
+  broadcast-on-tree variants).
+* :mod:`~repro.core.buffers` -- the two-buffer-class deadlock prevention.
+* :mod:`~repro.core.adapters` -- the host-adapter multicast engine
+  (store-and-forward / cut-through, implicit ACK/NACK buffer reservation).
+* :mod:`~repro.core.ordering` -- total-ordering serializers and checkers.
+
+Switch-fabric schemes (Section 3):
+
+* :mod:`~repro.core.route_encoding` -- the multicast source-route tree
+  encoding of Figure 2.
+* :mod:`~repro.core.switch_mcast` -- the three switch-level schemes over
+  the flit-level substrate.
+
+Interoperation:
+
+* :mod:`~repro.core.ip_mapping` -- multicast IP (class D) to Myrinet group
+  mapping (Section 8.1).
+"""
+
+from repro.core.groups import BROADCAST_GROUP_ID, GroupTable, MulticastGroup
+from repro.core.hamiltonian import (
+    HamiltonianCircuit,
+    circuit_hop_length,
+    host_connectivity_graph,
+)
+from repro.core.tree import RootedTree, tree_hop_length
+from repro.core.buffers import BufferClasses, BufferDeadlockError
+from repro.core.adapters import (
+    AcceptancePolicy,
+    AdapterConfig,
+    HostAdapter,
+    MulticastEngine,
+    MulticastMessage,
+    Scheme,
+)
+from repro.core.ordering import OrderingChecker, TotalOrderError
+from repro.core.route_encoding import (
+    END_MARKER,
+    RouteTree,
+    decode_multicast_route,
+    encode_multicast_route,
+)
+from repro.core.ip_mapping import (
+    IpGroupMapper,
+    is_class_d,
+    myrinet_group_of,
+)
+from repro.core.credit import CreditConfig, CreditController
+from repro.core.fragmentation import FragmentedMessage
+from repro.core.transport_repair import RepairConfig, RepairSession
+from repro.core.switch_mcast import (
+    Fig3Outcome,
+    SwitchScheme,
+    build_switch_multicast_network,
+    deadlock_rate,
+    run_fig3_scenario,
+    sweep_fig3_offsets,
+)
+
+__all__ = [
+    "AcceptancePolicy",
+    "AdapterConfig",
+    "BROADCAST_GROUP_ID",
+    "Fig3Outcome",
+    "SwitchScheme",
+    "build_switch_multicast_network",
+    "deadlock_rate",
+    "run_fig3_scenario",
+    "sweep_fig3_offsets",
+    "BufferClasses",
+    "BufferDeadlockError",
+    "CreditConfig",
+    "CreditController",
+    "FragmentedMessage",
+    "RepairConfig",
+    "RepairSession",
+    "END_MARKER",
+    "GroupTable",
+    "HamiltonianCircuit",
+    "HostAdapter",
+    "IpGroupMapper",
+    "MulticastEngine",
+    "MulticastGroup",
+    "MulticastMessage",
+    "OrderingChecker",
+    "RootedTree",
+    "RouteTree",
+    "Scheme",
+    "TotalOrderError",
+    "circuit_hop_length",
+    "decode_multicast_route",
+    "encode_multicast_route",
+    "host_connectivity_graph",
+    "is_class_d",
+    "myrinet_group_of",
+    "tree_hop_length",
+]

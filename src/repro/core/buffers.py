@@ -1,0 +1,139 @@
+"""Two-buffer-class deadlock prevention (Section 4, Figures 6 and 7).
+
+Each host adapter divides its multicast buffering into two classes: a worm
+uses class 1 before the host-ID reversal of its journey and class 2 after
+(Hamiltonian), or class 1 while climbing and class 2 while descending
+(broadcast-on-tree).  Because every buffer request then points either to a
+higher host ID or to a higher buffer class, requests cannot cycle and
+buffer deadlock is impossible.
+
+Each class is optionally extended by the host DMA buffer ([VLB96]'s
+overflow trick, discussed at the end of Section 4): a claim that does not
+fit the adapter SRAM class pool may spill into the shared DMA extension.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Container, ContainerGet
+
+
+class BufferDeadlockError(RuntimeError):
+    """Raised by the deadlock detector when buffer waits form a cycle."""
+
+
+class _ClassPool:
+    """One buffer class, with optional spill into a shared DMA extension."""
+
+    def __init__(
+        self, sim: Simulator, capacity: float, dma: Optional[Container]
+    ) -> None:
+        self.sram = Container(sim, capacity) if math.isfinite(capacity) else None
+        self.dma = dma
+
+    def try_claim(self, amount: float) -> Optional["BufferClaim"]:
+        """Non-blocking claim; None when neither pool can hold the worm."""
+        if self.sram is None:
+            return BufferClaim(self, amount, spilled=0.0)
+        if self.sram.try_get(amount):
+            return BufferClaim(self, amount, spilled=0.0)
+        if self.dma is not None and self.dma.try_get(amount):
+            return BufferClaim(self, amount, spilled=amount)
+        return None
+
+    def claim_blocking(self, amount: float) -> ContainerGet:
+        """Blocking claim on the SRAM pool (the 'wait' acceptance policy)."""
+        if self.sram is None:
+            raise RuntimeError("blocking claim on an unbounded pool is meaningless")
+        return self.sram.get(amount)
+
+    def release(self, claim: "BufferClaim") -> None:
+        if claim.spilled:
+            self.dma.put(claim.spilled)
+        elif self.sram is not None:
+            self.sram.put(claim.amount)
+
+    @property
+    def free(self) -> float:
+        if self.sram is None:
+            return math.inf
+        level = self.sram.level
+        if self.dma is not None:
+            level += self.dma.level
+        return level
+
+
+class BufferClaim:
+    """A granted buffer reservation; release exactly once."""
+
+    __slots__ = ("pool", "amount", "spilled", "_released")
+
+    def __init__(self, pool: _ClassPool, amount: float, spilled: float) -> None:
+        self.pool = pool
+        self.amount = amount
+        self.spilled = spilled
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            raise RuntimeError("buffer claim released twice")
+        self._released = True
+        self.pool.release(self)
+
+
+class BufferClasses:
+    """A host adapter's multicast buffer pools.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    class_bytes:
+        Capacity of *each* class in bytes (``inf`` models the paper's
+        simulation runs, which do not exhaust adapter buffering).  The
+        Myrinet adapter has about 25 KB total, so roughly one worm per
+        class with the DMA extension making up the rest.
+    dma_extension_bytes:
+        Size of the shared host-DMA overflow pool (0 disables it).
+    use_classes:
+        When False, both classes share a single pool of ``class_bytes`` --
+        the deadlock-prone configuration demonstrated in Figure 6 and
+        quantified in the buffer-class ablation.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        class_bytes: float = math.inf,
+        dma_extension_bytes: float = 0.0,
+        use_classes: bool = True,
+    ) -> None:
+        if class_bytes <= 0:
+            raise ValueError("class capacity must be positive")
+        self.sim = sim
+        self.use_classes = use_classes
+        self.dma = (
+            Container(sim, dma_extension_bytes) if dma_extension_bytes > 0 else None
+        )
+        first = _ClassPool(sim, class_bytes, self.dma)
+        self._pools = (first, _ClassPool(sim, class_bytes, self.dma) if use_classes else first)
+
+    def pool(self, wrapped: bool) -> _ClassPool:
+        """Class 1 (pre-reversal) or class 2 (post-reversal) pool."""
+        return self._pools[1 if wrapped else 0]
+
+    def try_claim(self, length: float, wrapped: bool) -> Optional[BufferClaim]:
+        """Implicit-reservation admission test (Figure 5's check at B)."""
+        return self.pool(wrapped).try_claim(length)
+
+    def claim_blocking(self, length: float, wrapped: bool) -> ContainerGet:
+        return self.pool(wrapped).claim_blocking(length)
+
+    def release(self, claim: BufferClaim) -> None:
+        claim.release()
+
+    def free_bytes(self, wrapped: bool) -> float:
+        return self.pool(wrapped).free

@@ -1,0 +1,106 @@
+"""Large-message fragmentation (Section 4).
+
+'In some applications, the size of the multicast message may exceed the
+buffer size on the host adapter ... This may force the originating host to
+split the message in smaller fragments.'  :func:`multicast_fragmented`
+implements that split: the message is carved into worms no larger than the
+adapter budget (and never larger than the Myrinet 9 KB worm limit), sent
+in order, and tracked as one :class:`FragmentedMessage`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.net.worm import MAX_WORM_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.adapters import MulticastEngine, MulticastMessage
+
+
+@dataclass
+class FragmentedMessage:
+    """A large multicast split into worm-sized fragments."""
+
+    gid: int
+    origin: int
+    total_bytes: int
+    fragment_bytes: int
+    fragments: List["MulticastMessage"] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Every fragment delivered to every member."""
+        return bool(self.fragments) and all(f.complete for f in self.fragments)
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self.fragments)
+
+    def completion_latency(self) -> float:
+        """First-injection to last-delivery across all fragments."""
+        if not self.complete:
+            raise RuntimeError("fragmented message not complete")
+        start = min(f.created for f in self.fragments)
+        end = max(f.completed_at for f in self.fragments)
+        return end - start
+
+    def in_order_at(self, host: int) -> bool:
+        """True when ``host`` received the fragments in send order."""
+        times = []
+        for fragment in self.fragments:
+            when = fragment.deliveries.get(host)
+            if when is None:
+                return False
+            times.append(when)
+        return times == sorted(times)
+
+
+def fragment_sizes(total_bytes: int, fragment_bytes: int) -> List[int]:
+    """Split ``total_bytes`` into chunks of at most ``fragment_bytes``."""
+    if total_bytes <= 0:
+        raise ValueError("total_bytes must be positive")
+    if fragment_bytes <= 0:
+        raise ValueError("fragment_bytes must be positive")
+    count = math.ceil(total_bytes / fragment_bytes)
+    sizes = [fragment_bytes] * (count - 1)
+    sizes.append(total_bytes - fragment_bytes * (count - 1))
+    return sizes
+
+
+def multicast_fragmented(
+    engine: "MulticastEngine",
+    origin: int,
+    gid: int,
+    total_bytes: int,
+    fragment_bytes: Optional[int] = None,
+    payload: object = None,
+) -> FragmentedMessage:
+    """Send a message of arbitrary size by splitting it into worms.
+
+    ``fragment_bytes`` defaults to the adapter buffer budget when finite
+    (otherwise the Myrinet worm limit).  Fragments are injected
+    back-to-back; the injection channel and the group structure keep them
+    in order on every path, so members reassemble by arrival order.
+    """
+    if fragment_bytes is None:
+        budget = engine.config.buffer_bytes
+        fragment_bytes = (
+            int(min(budget, MAX_WORM_BYTES))
+            if math.isfinite(budget)
+            else MAX_WORM_BYTES
+        )
+    fragment_bytes = min(fragment_bytes, MAX_WORM_BYTES)
+    record = FragmentedMessage(
+        gid=gid,
+        origin=origin,
+        total_bytes=total_bytes,
+        fragment_bytes=fragment_bytes,
+    )
+    for size in fragment_sizes(total_bytes, fragment_bytes):
+        record.fragments.append(
+            engine.multicast(origin=origin, gid=gid, length=size, payload=payload)
+        )
+    return record

@@ -1,0 +1,193 @@
+"""Hamiltonian-circuit multicasting (Section 5).
+
+The members of a multicast group are arranged in a directed circuit.  The
+paper's deadlock-prevention rule orders hosts by increasing ID, with a
+single ID reversal (highest back to lowest) closing the circuit; the
+reversal switches the worm to the second buffer class.
+
+The circuit is formed over the *host-connectivity graph*: the complete graph
+on the members whose edge weights are the hop counts of the unicast routes
+between them (Figure 8's transformation).  Besides the paper's ID order,
+nearest-neighbour and 2-opt tour optimizations are provided as extensions
+for the circuit-order ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.groups import MulticastGroup
+from repro.net.updown import UpDownRouting
+
+EdgeWeights = Dict[Tuple[int, int], int]
+
+
+def host_connectivity_graph(
+    routing: UpDownRouting, hosts: Sequence[int]
+) -> EdgeWeights:
+    """The complete host graph induced on the network topology.
+
+    Edge weight = hop count of the (fixed, legal) unicast route between the
+    two hosts; each edge of this graph corresponds to a simple path in the
+    network graph (Figure 8).
+    """
+    weights: EdgeWeights = {}
+    for i, a in enumerate(hosts):
+        for b in hosts[i + 1 :]:
+            w = routing.hop_count(a, b)
+            weights[(a, b)] = w
+            weights[(b, a)] = w
+    return weights
+
+
+class HamiltonianCircuit:
+    """A directed circuit over a multicast group's members.
+
+    Parameters
+    ----------
+    group:
+        The multicast group.
+    order:
+        ``"id"`` -- increasing host ID, the paper's deadlock-free order
+        (default).  ``"nearest"`` -- nearest-neighbour tour over the host
+        connectivity graph.  ``"two_opt"`` -- nearest-neighbour improved by
+        2-opt.  The optimized orders need ``routing`` for edge weights and
+        are *not* deadlock-safe without extra buffer classes: they may
+        reverse host-ID order more than once (quantified in the
+        circuit-order ablation).
+    routing:
+        Route provider for weighted orders.
+    """
+
+    def __init__(
+        self,
+        group: MulticastGroup,
+        order: str = "id",
+        routing: Optional[UpDownRouting] = None,
+    ) -> None:
+        self.group = group
+        self.order = order
+        if order == "id":
+            self.sequence: List[int] = list(group.members)
+        elif order in ("nearest", "two_opt"):
+            if routing is None:
+                raise ValueError(f"order {order!r} requires a routing instance")
+            weights = host_connectivity_graph(routing, group.members)
+            tour = _nearest_neighbour(group.members, weights)
+            if order == "two_opt":
+                tour = _two_opt(tour, weights)
+            # Rotate so the tour starts at the lowest id (canonical form).
+            pivot = tour.index(min(tour))
+            self.sequence = tour[pivot:] + tour[:pivot]
+        else:
+            raise ValueError(f"unknown circuit order {order!r}")
+        self._position = {host: i for i, host in enumerate(self.sequence)}
+
+    @property
+    def gid(self) -> int:
+        return self.group.gid
+
+    @property
+    def size(self) -> int:
+        return len(self.sequence)
+
+    def successor(self, host: int) -> int:
+        """The next host on the circuit after ``host``."""
+        try:
+            index = self._position[host]
+        except KeyError:
+            raise ValueError(f"host {host} not on circuit of group {self.gid}") from None
+        return self.sequence[(index + 1) % self.size]
+
+    def predecessor(self, host: int) -> int:
+        try:
+            index = self._position[host]
+        except KeyError:
+            raise ValueError(f"host {host} not on circuit of group {self.gid}") from None
+        return self.sequence[(index - 1) % self.size]
+
+    def initial_hop_count(self, include_return: bool = False) -> int:
+        """The hop count the originator stamps in the worm header.
+
+        ``size - 1`` stops the worm at the originator's predecessor;
+        ``size`` (``include_return``) brings it back to the originator as a
+        delivery confirmation (Section 5's two transmission approaches).
+        """
+        return self.size if include_return else self.size - 1
+
+    def is_reversal(self, host: int, nxt: int) -> bool:
+        """True when forwarding host -> nxt crosses the ID reversal.
+
+        On the paper's ID-ordered circuit this happens exactly once, on the
+        highest-to-lowest edge; the worm switches to the second buffer
+        class there (Section 4).
+        """
+        return nxt < host
+
+    def reversal_count(self) -> int:
+        """Number of decreasing-ID edges on the circuit (1 for ID order)."""
+        return sum(
+            1
+            for i, host in enumerate(self.sequence)
+            if self.sequence[(i + 1) % self.size] < host
+        )
+
+    def walk_from(self, origin: int, hop_count: Optional[int] = None) -> List[int]:
+        """Hosts visited (in order) by a multicast starting at ``origin``."""
+        if hop_count is None:
+            hop_count = self.initial_hop_count()
+        visited = []
+        host = origin
+        for _ in range(hop_count):
+            host = self.successor(host)
+            visited.append(host)
+        return visited
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HamiltonianCircuit g{self.gid} {self.sequence}>"
+
+
+def circuit_hop_length(
+    circuit: HamiltonianCircuit, routing: UpDownRouting
+) -> int:
+    """Total network hop count around the circuit (Figure 8's metric)."""
+    total = 0
+    for host in circuit.sequence:
+        total += routing.hop_count(host, circuit.successor(host))
+    return total
+
+
+def _nearest_neighbour(hosts: Sequence[int], weights: EdgeWeights) -> List[int]:
+    """Greedy nearest-neighbour tour starting at the lowest-id host."""
+    start = min(hosts)
+    tour = [start]
+    remaining = set(hosts) - {start}
+    while remaining:
+        here = tour[-1]
+        nxt = min(remaining, key=lambda h: (weights[(here, h)], h))
+        tour.append(nxt)
+        remaining.remove(nxt)
+    return tour
+
+
+def _two_opt(tour: List[int], weights: EdgeWeights, max_rounds: int = 20) -> List[int]:
+    """Classic 2-opt improvement: reverse segments while it shortens the tour."""
+    n = len(tour)
+    if n < 4:
+        return list(tour)
+    tour = list(tour)
+    for _ in range(max_rounds):
+        improved = False
+        for i in range(n - 1):
+            for j in range(i + 2, n if i > 0 else n - 1):
+                a, b = tour[i], tour[(i + 1) % n]
+                c, d = tour[j], tour[(j + 1) % n]
+                delta = (
+                    weights[(a, c)] + weights[(b, d)] - weights[(a, b)] - weights[(c, d)]
+                )
+                if delta < 0:
+                    tour[i + 1 : j + 1] = reversed(tour[i + 1 : j + 1])
+                    improved = True
+        if not improved:
+            break
+    return tour

@@ -1,0 +1,224 @@
+"""Multicast source-route encoding (Section 3, Figure 2).
+
+Unicast source routes in Myrinet are flat lists of output-port bytes.  For
+switch-level multicasting the route is a *tree* of port numbers, linearized
+depth-first into the worm header:
+
+* at each switch the header holds a list of branches, terminated by an
+  end-of-route marker;
+* each branch is ``[port, pointer, subtree-bytes...]`` -- the pointer is the
+  byte count from just after the pointer to the next port number (i.e. the
+  length of the subtree segment);
+* the subtree segment is the complete encoding of the branch's next switch
+  (itself end-marker-terminated); a leaf branch (next hop is a host) has an
+  empty segment and pointer 0.
+
+The switch processes the header exactly as the paper describes: read port
+and pointer, copy the pointed-to bytes out of that port (appending an
+end-of-route marker when the segment is empty), repeat until the end
+marker, then replicate the worm body to all those ports.
+
+Note on Figure 2: the figure renders pointers symbolically as ``P`` and
+elides zero pointers; this module uses the normative algorithm from the
+text, so leaf branches carry an explicit 0 pointer byte (required for
+unambiguous decoding).  The depth-first port order of the figure's example
+(1, 2, 5, 3, 4, 1, 7) is preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: End-of-route marker byte.  Port numbers must stay below this value.
+END_MARKER = 0xFF
+
+#: Maximum encodable subtree segment, limited by the one-byte pointer.
+_MAX_SEGMENT = 0xFE
+
+
+class RouteEncodingError(ValueError):
+    """Malformed multicast route header."""
+
+
+@dataclass
+class RouteTree:
+    """Routing instructions at one switch: ordered (port, subtree) branches.
+
+    A ``None`` subtree means the port leads directly to a destination host.
+    """
+
+    branches: List[Tuple[int, Optional["RouteTree"]]] = field(default_factory=list)
+
+    def add(self, port: int, subtree: Optional["RouteTree"] = None) -> "RouteTree":
+        """Append a branch; returns the subtree (created if needed) for
+        chaining."""
+        if subtree is None and port in [p for p, s in self.branches]:
+            raise RouteEncodingError(f"duplicate port {port} at switch")
+        self.branches.append((port, subtree))
+        return subtree if subtree is not None else self
+
+    @property
+    def ports(self) -> List[int]:
+        return [port for port, _ in self.branches]
+
+    def depth_first_ports(self) -> List[int]:
+        """All port numbers in depth-first (header) order."""
+        order: List[int] = []
+        for port, subtree in self.branches:
+            order.append(port)
+            if subtree is not None:
+                order.extend(subtree.depth_first_ports())
+        return order
+
+    def leaf_count(self) -> int:
+        """Number of host-facing exits of the tree."""
+        total = 0
+        for _, subtree in self.branches:
+            total += 1 if subtree is None else subtree.leaf_count()
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RouteTree):
+            return NotImplemented
+        return self.branches == other.branches
+
+
+def encode_multicast_route(tree: RouteTree) -> bytes:
+    """Linearize a route tree into the worm-header byte layout."""
+    return bytes(_encode(tree))
+
+
+def _encode(tree: RouteTree) -> List[int]:
+    out: List[int] = []
+    if not tree.branches:
+        raise RouteEncodingError("a route tree node needs at least one branch")
+    for port, subtree in tree.branches:
+        if not 0 <= port < END_MARKER:
+            raise RouteEncodingError(f"port {port} outside the encodable range")
+        segment = _encode(subtree) if subtree is not None else []
+        if len(segment) > _MAX_SEGMENT:
+            raise RouteEncodingError(
+                f"subtree segment of {len(segment)} bytes exceeds the "
+                f"one-byte pointer limit ({_MAX_SEGMENT})"
+            )
+        out.append(port)
+        out.append(len(segment))
+        out.extend(segment)
+    out.append(END_MARKER)
+    return out
+
+
+def decode_multicast_route(data: bytes) -> RouteTree:
+    """Parse a worm header back into a route tree (inverse of encode)."""
+    tree, consumed = _decode(data, 0)
+    if consumed != len(data):
+        raise RouteEncodingError(
+            f"{len(data) - consumed} trailing bytes after the end marker"
+        )
+    return tree
+
+
+def _decode(data: bytes, offset: int) -> Tuple[RouteTree, int]:
+    tree = RouteTree()
+    index = offset
+    while True:
+        if index >= len(data):
+            raise RouteEncodingError("header ended without an end marker")
+        byte = data[index]
+        index += 1
+        if byte == END_MARKER:
+            if not tree.branches:
+                raise RouteEncodingError("empty branch list at a switch")
+            return tree, index
+        port = byte
+        if index >= len(data):
+            raise RouteEncodingError(f"port {port} missing its pointer byte")
+        pointer = data[index]
+        index += 1
+        if pointer == 0:
+            tree.branches.append((port, None))
+            continue
+        segment = data[index : index + pointer]
+        if len(segment) < pointer:
+            raise RouteEncodingError(
+                f"pointer {pointer} runs past the end of the header"
+            )
+        subtree, consumed = _decode(data, index)
+        if consumed - index != pointer:
+            raise RouteEncodingError(
+                f"subtree consumed {consumed - index} bytes, pointer said {pointer}"
+            )
+        index = consumed
+        tree.branches.append((port, subtree))
+
+
+def switch_process_header(data: bytes) -> List[Tuple[int, bytes]]:
+    """One switch's processing of a multicast header (the paper's algorithm).
+
+    Returns the (output port, stamped header) pairs: read port and pointer,
+    copy the pointed-to bytes to that port -- appending an end-of-route
+    marker for empty (leaf) segments -- until the end marker is read.
+    """
+    outputs: List[Tuple[int, bytes]] = []
+    index = 0
+    while True:
+        if index >= len(data):
+            raise RouteEncodingError("header ended without an end marker")
+        byte = data[index]
+        index += 1
+        if byte == END_MARKER:
+            return outputs
+        port = byte
+        pointer = data[index]
+        index += 1
+        segment = bytes(data[index : index + pointer])
+        if len(segment) < pointer:
+            raise RouteEncodingError("pointer runs past the end of the header")
+        index += pointer
+        if not segment:
+            segment = bytes([END_MARKER])
+        outputs.append((port, segment))
+
+
+def route_tree_from_paths(paths: List[List[int]]) -> RouteTree:
+    """Build a route tree from per-destination port paths.
+
+    Each path is the list of output-port numbers a unicast worm to that
+    destination would take.  Shared prefixes merge into shared branches;
+    branch order follows first appearance (depth-first stamping order).
+    """
+    if not paths:
+        raise RouteEncodingError("no destination paths given")
+    root = RouteTree()
+    for path in paths:
+        if not path:
+            raise RouteEncodingError("a destination path cannot be empty")
+        node = root
+        for depth, port in enumerate(path):
+            last = depth == len(path) - 1
+            match = None
+            for i, (p, subtree) in enumerate(node.branches):
+                if p == port:
+                    match = i
+                    break
+            if match is None:
+                subtree = None if last else RouteTree()
+                node.branches.append((port, subtree))
+                node = subtree
+            else:
+                port_, subtree = node.branches[match]
+                if last:
+                    if subtree is not None:
+                        raise RouteEncodingError(
+                            "a destination lies on another destination's path"
+                        )
+                    # duplicate destination: idempotent
+                    node = subtree
+                else:
+                    if subtree is None:
+                        raise RouteEncodingError(
+                            "a destination lies on another destination's path"
+                        )
+                    node = subtree
+    return root

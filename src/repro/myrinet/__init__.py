@@ -1,0 +1,35 @@
+"""Myrinet prototype model (Section 8).
+
+The paper's measurements ran on real hardware: a four-switch Myrinet with
+eight SPARCstation-5 hosts, the Hamiltonian-circuit multicast implemented
+in the LANai network-interface firmware, and an application-space interface
+that bypasses the kernel.  We model that testbed with a calibrated timing
+model:
+
+* per-packet host-side send overhead (application -> driver -> NIC), the
+  dominant cost on 70 MHz SPARCstation-5s;
+* per-packet LANai store-and-forward overhead for in-NIC retransmission;
+* 640 Mb/s links;
+* a ~25 KB NIC input buffer with drop-on-overflow -- the implementation
+  uses no adapter-level backpressure, so the input buffer is the only
+  place loss can occur (Section 8.2).
+
+:func:`~repro.myrinet.testbed.run_throughput_experiment` regenerates the
+Figure 12 throughput curves and the Figure 13 loss curve.
+"""
+
+from repro.myrinet.lanai import LanaiConfig, MyrinetAdapter, Packet
+from repro.myrinet.testbed import (
+    TestbedResult,
+    run_loss_experiment,
+    run_throughput_experiment,
+)
+
+__all__ = [
+    "LanaiConfig",
+    "MyrinetAdapter",
+    "Packet",
+    "TestbedResult",
+    "run_loss_experiment",
+    "run_throughput_experiment",
+]

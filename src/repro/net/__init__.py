@@ -1,0 +1,60 @@
+"""Wormhole network substrate.
+
+This package models the Myrinet-style wormhole LAN the paper's protocols run
+over:
+
+* :mod:`~repro.net.topology` -- switch/host/link graphs and the topologies
+  evaluated in the paper (8x8 torus, 24-node bidirectional shufflenet, the
+  4-switch Myrinet testbed) plus generic builders.
+* :mod:`~repro.net.updown` -- deadlock-free up/down routing (Autonet/Myrinet
+  style): spanning tree, link orientation, legal shortest routes, and a
+  channel-dependency-graph deadlock-freedom checker.
+* :mod:`~repro.net.worm` -- worm records and headers.
+* :mod:`~repro.net.wormnet` -- the event-driven, worm-level wormhole transfer
+  engine (path acquisition, blocking/backpressure, pipelined streaming).
+* :mod:`~repro.net.flitlevel` -- the byte-granular substrate (slack buffers,
+  STOP/GO, IDLE fills, crossbar switches) used for the switch-fabric
+  multicast schemes and the deadlock demonstrations.
+"""
+
+from repro.net.topology import (
+    Link,
+    Node,
+    Topology,
+    bidirectional_shufflenet,
+    complete_switches,
+    hypercube,
+    line,
+    mesh,
+    myrinet_testbed,
+    random_irregular,
+    ring,
+    star,
+    torus,
+)
+from repro.net.updown import UpDownRouting, check_deadlock_free
+from repro.net.worm import Worm, WormKind
+from repro.net.wormnet import Channel, Transfer, WormholeNetwork
+
+__all__ = [
+    "Channel",
+    "Link",
+    "Node",
+    "Topology",
+    "Transfer",
+    "UpDownRouting",
+    "Worm",
+    "WormKind",
+    "WormholeNetwork",
+    "bidirectional_shufflenet",
+    "check_deadlock_free",
+    "complete_switches",
+    "hypercube",
+    "line",
+    "mesh",
+    "myrinet_testbed",
+    "random_irregular",
+    "ring",
+    "star",
+    "torus",
+]

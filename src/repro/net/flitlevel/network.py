@@ -1,0 +1,428 @@
+"""The flit-level network: wiring, injection APIs and the tick loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.route_encoding import encode_multicast_route, route_tree_from_paths
+from repro.net.flitlevel.adapter import FlitAdapter, WormRecord
+from repro.net.flitlevel.flits import worm_flits
+from repro.net.flitlevel.switch import (
+    BROADCAST_BYTE,
+    IDLE_FILL,
+    IDLE_FLUSH,
+    INTERRUPT,
+    CrossbarSwitch,
+)
+from repro.net.flitlevel.wire import Wire
+from repro.net.topology import Topology
+from repro.net.updown import UpDownRouting
+from repro.sim.rng import RandomStreams
+
+_flit_worm_ids = itertools.count(1)
+_flit_message_ids = itertools.count(1)
+
+
+class HostMulticastMessage:
+    """A host-adapter multicast (Hamiltonian circuit, Section 5) tracked at
+    flit granularity: one application message relayed store-and-forward
+    from member to member."""
+
+    __slots__ = ("mid", "gid", "origin", "created", "expected", "deliveries")
+
+    def __init__(self, mid: int, gid: int, origin: int, created: int,
+                 expected) -> None:
+        self.mid = mid
+        self.gid = gid
+        self.origin = origin
+        self.created = created
+        self.expected = frozenset(expected)
+        self.deliveries: Dict[int, int] = {}
+
+    @property
+    def complete(self) -> bool:
+        return set(self.deliveries) >= self.expected
+
+    def completion_latency(self) -> int:
+        if not self.complete:
+            raise RuntimeError(f"message {self.mid} not complete")
+        return max(self.deliveries.values()) - self.created
+
+
+class MulticastMode(str, Enum):
+    """Section 3's switch-level multicast schemes."""
+
+    IDLE_FILL = IDLE_FILL    # base: blocked branch -> IDLE fills elsewhere
+    INTERRUPT = INTERRUPT    # scheme 2: interrupt / resume with fragments
+    IDLE_FLUSH = IDLE_FLUSH  # scheme 3: flush unicasts hitting mc-IDLE ports
+
+
+class DeadlockDetected(RuntimeError):
+    """No worm made progress for the quiet window while work remained."""
+
+    def __init__(self, tick: int, stuck: List[int]) -> None:
+        super().__init__(
+            f"no progress since tick {tick}; undelivered worms: {stuck}"
+        )
+        self.tick = tick
+        self.stuck = stuck
+
+
+class FlitNetwork:
+    """Byte-granular wormhole network over a topology.
+
+    Parameters
+    ----------
+    topology / routing:
+        The switch graph and its up/down routing.
+    mode:
+        Switch-level multicast scheme (see :class:`MulticastMode`).
+    restrict_to_tree:
+        Route *all* worms on the up/down spanning tree (scheme 1 -- this
+        is what makes the base IDLE-fill scheme deadlock-free).
+    slack_capacity:
+        Per-input slack buffer size in flits.
+    wire_delay:
+        Link propagation delay in ticks.
+    mc_idle_threshold:
+        Consecutive IDLE flits before a port is flagged multicast-IDLE
+        (scheme 3).
+    flush_backoff:
+        (lo, hi) uniform random retransmission delay after a flush, ticks.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: Optional[UpDownRouting] = None,
+        mode: MulticastMode = MulticastMode.IDLE_FILL,
+        restrict_to_tree: bool = False,
+        slack_capacity: int = 32,
+        wire_delay: int = 1,
+        mc_idle_threshold: int = 16,
+        flush_backoff: Tuple[int, int] = (200, 400),
+        seed: int = 1,
+    ) -> None:
+        self.topology = topology
+        self.routing = routing or UpDownRouting(topology)
+        self.mode = mode.value if isinstance(mode, MulticastMode) else mode
+        self.restrict_to_tree = restrict_to_tree
+        self.mc_idle_threshold = mc_idle_threshold
+        self.flush_backoff = flush_backoff
+        self._rng = RandomStreams(seed=seed).stream("flitnet")
+        self.now = 0
+        self.killed: set = set()
+        self.flushes = 0
+        self.records: Dict[int, WormRecord] = {}
+        #: Hamiltonian host-adapter multicast state (create_host_group).
+        self.host_groups: Dict[int, List[int]] = {}
+        self.messages: Dict[int, HostMulticastMessage] = {}
+        self._actions: List[Tuple[int, int, Callable[[], None]]] = []
+        self._action_seq = itertools.count()
+
+        # Build switches with ports in adjacency order (port numbers in
+        # source routes are adjacency indices).
+        self.switches: Dict[int, CrossbarSwitch] = {}
+        self.adapters: Dict[int, FlitAdapter] = {}
+        self._wires: List[Wire] = []
+        #: (node, link id) -> port index at that node's switch
+        self._port_of: Dict[Tuple[int, int], int] = {}
+
+        for sid in topology.switches:
+            self.switches[sid] = CrossbarSwitch(
+                self, sid, slack_capacity=slack_capacity
+            )
+        for hid in topology.hosts:
+            self.adapters[hid] = FlitAdapter(self, hid)
+
+        for sid in topology.switches:
+            switch = self.switches[sid]
+            for link in topology.adjacent(sid):
+                peer = link.other(sid)
+                wire_in = Wire(delay=max(1, wire_delay + int(link.prop_delay)))
+                wire_out = Wire(delay=max(1, wire_delay + int(link.prop_delay)))
+                port = switch.add_port(wire_in, wire_out)
+                self._port_of[(sid, link.id)] = port
+                self._wires.extend([wire_in, wire_out])
+                if topology.node(peer).is_host:
+                    adapter = self.adapters[peer]
+                    adapter.wire_out = wire_in   # host -> switch
+                    adapter.wire_in = wire_out   # switch -> host
+        # Second pass: splice switch-to-switch wires so each side shares
+        # the same Wire object per direction.
+        spliced = set()
+        for link in topology.links:
+            if not (
+                topology.node(link.a).is_switch and topology.node(link.b).is_switch
+            ):
+                continue
+            if link.id in spliced:
+                continue
+            spliced.add(link.id)
+            pa = self._port_of[(link.a, link.id)]
+            pb = self._port_of[(link.b, link.id)]
+            sa, sb = self.switches[link.a], self.switches[link.b]
+            # a's out wire is b's in wire and vice versa.
+            sb.inputs[pb].wire = sa.outputs[pa].wire
+            sa.inputs[pa].wire = sb.outputs[pb].wire
+        # Down-link ports for the broadcast address (Section 3).
+        for sid in topology.switches:
+            switch = self.switches[sid]
+            ports = []
+            for link in topology.adjacent(sid):
+                peer = link.other(sid)
+                if link.id in self.routing.tree_links and not self.routing.is_up(
+                    sid, peer
+                ):
+                    ports.append(self._port_of[(sid, link.id)])
+            switch.down_ports = ports
+
+    # -- route helpers -------------------------------------------------------
+    def _port_bytes(self, hops) -> List[int]:
+        """Header bytes for a hop path: one output-port byte per switch."""
+        ports = []
+        for a, _b, link in hops[1:]:
+            ports.append(self._port_of[(a, link.id)])
+        return ports
+
+    # -- injection APIs ----------------------------------------------------------
+    def send_unicast(
+        self, src: int, dst: int, payload_bytes: int = 64, start_delay: int = 0
+    ) -> int:
+        """Queue a unicast worm; returns its worm id."""
+        hops = self.routing.route(src, dst, self.restrict_to_tree)
+        header = bytes(self._port_bytes(hops))
+        wid = next(_flit_worm_ids)
+        flits = worm_flits(wid, header, payload_bytes)
+        record = WormRecord(wid, src, [dst], flits, payload_bytes)
+        self.records[wid] = record
+        self._inject(record, start_delay)
+        return wid
+
+    def _inject(self, record: WormRecord, start_delay: int) -> None:
+        if start_delay <= 0:
+            self.adapters[record.src].enqueue(record)
+        else:
+            self.schedule(start_delay, lambda: self.adapters[record.src].enqueue(record))
+
+    def send_multicast(
+        self,
+        src: int,
+        dests: Sequence[int],
+        payload_bytes: int = 64,
+        start_delay: int = 0,
+    ) -> int:
+        """Queue a switch-level multicast worm (tree-encoded source route)."""
+        if not dests:
+            raise ValueError("multicast needs at least one destination")
+        routes = self.routing.multi_route(src, dests, self.restrict_to_tree)
+        paths = [self._port_bytes(routes[d]) for d in dests]
+        tree = route_tree_from_paths(paths)
+        header = encode_multicast_route(tree)
+        wid = next(_flit_worm_ids)
+        flits = worm_flits(wid, header, payload_bytes, multicast=True)
+        record = WormRecord(wid, src, list(dests), flits, payload_bytes)
+        self.records[wid] = record
+        self._inject(record, start_delay)
+        return wid
+
+    def send_broadcast(
+        self, src: int, payload_bytes: int = 64, start_delay: int = 0
+    ) -> int:
+        """Queue a broadcast: unicast route to the up/down root, then the
+        broadcast address byte fans out on all down links (Section 3)."""
+        root = self.routing.root
+        src_switch = self.topology.host_switch(src)
+        if src_switch == root:
+            header = bytes([BROADCAST_BYTE])
+        else:
+            hops = self.routing.route(src, root, restrict_to_tree=True)
+            header = bytes(self._port_bytes(hops) + [BROADCAST_BYTE])
+        wid = next(_flit_worm_ids)
+        # Broadcast reaches every host (including a copy back to src).
+        flits = worm_flits(wid, header, payload_bytes, broadcast=True)
+        record = WormRecord(wid, src, list(self.topology.hosts), flits, payload_bytes)
+        self.records[wid] = record
+        self._inject(record, start_delay)
+        return wid
+
+    # -- host-adapter multicast (Hamiltonian circuit at byte granularity) ---------
+    def create_host_group(self, gid: int, members: Sequence[int]) -> None:
+        """Register a Hamiltonian-circuit multicast group whose worms are
+        replicated by the host adapters (store-and-forward), exactly like
+        the Myrinet implementation of Section 8."""
+        members = sorted(set(members))
+        if len(members) < 2:
+            raise ValueError("a multicast group needs at least two members")
+        unknown = set(members) - set(self.topology.hosts)
+        if unknown:
+            raise ValueError(f"not hosts: {sorted(unknown)}")
+        if gid in self.host_groups:
+            raise ValueError(f"group {gid} already registered")
+        self.host_groups[gid] = members
+
+    def _successor(self, gid: int, host: int) -> int:
+        members = self.host_groups[gid]
+        return members[(members.index(host) + 1) % len(members)]
+
+    def send_host_multicast(self, src: int, gid: int, payload_bytes: int = 64) -> int:
+        """Originate a host-adapter multicast; returns the message id."""
+        members = self.host_groups.get(gid)
+        if members is None:
+            raise KeyError(f"no host group {gid}")
+        if src not in members:
+            raise ValueError(f"host {src} not in group {gid}")
+        mid = next(_flit_message_ids)
+        message = HostMulticastMessage(
+            mid, gid, src, self.now, [m for m in members if m != src]
+        )
+        self.messages[mid] = message
+        self._send_group_hop(src, gid, payload_bytes, len(members) - 1, mid)
+        return mid
+
+    def _send_group_hop(
+        self, src: int, gid: int, payload_bytes: int, hop_count: int, mid: int
+    ) -> None:
+        nxt = self._successor(gid, src)
+        hops = self.routing.route(src, nxt, self.restrict_to_tree)
+        header = bytes(self._port_bytes(hops))
+        wid = next(_flit_worm_ids)
+        flits = worm_flits(wid, header, payload_bytes)
+        record = WormRecord(
+            wid, src, [nxt], flits, payload_bytes,
+            group=gid, hop_count=hop_count, message_id=mid,
+        )
+        self.records[wid] = record
+        self.adapters[src].enqueue(record)
+
+    # -- delivery / flush callbacks ------------------------------------------------
+    def record_delivery(self, wid: int, host: int, now: int) -> None:
+        record = self.records.get(wid)
+        if record is None:
+            return
+        record.delivered_at[host] = now
+        if record.group is None or record.message_id is None:
+            return
+        # Host-adapter multicast hop: copy to the local host (counted in
+        # the message record) and retransmit to the successor while any
+        # hop count remains (Section 5's store-and-forward relay).
+        message = self.messages.get(record.message_id)
+        if message is not None and host in message.expected:
+            message.deliveries.setdefault(host, now)
+        if record.hop_count > 1:
+            self._send_group_hop(
+                host,
+                record.group,
+                record.payload_bytes,
+                record.hop_count - 1,
+                record.message_id,
+            )
+
+    def flush(self, wid: int, reason: str = "") -> None:
+        """Backward-reset a worm out of the network (scheme 3) and schedule
+        its source retransmission after a random timeout."""
+        if wid in self.killed:
+            return
+        self.killed.add(wid)
+        self.flushes += 1
+        for switch in self.switches.values():
+            switch.drop_worm(wid)
+        for wire in self._wires:
+            wire.drop_worm(wid)
+        record = self.records.get(wid)
+        if record is None:
+            return
+
+        def retransmit() -> None:
+            new_wid = next(_flit_worm_ids)
+            flits = [
+                type(f)(f.kind, new_wid, f.value, f.multicast, f.broadcast)
+                for f in record.flits
+            ]
+            new_record = WormRecord(
+                new_wid, record.src, record.dests, flits, record.payload_bytes
+            )
+            new_record.retransmissions = record.retransmissions + 1
+            new_record.delivered_at.update(record.delivered_at)
+            self.records[new_wid] = new_record
+            # The retransmission supersedes the flushed worm.
+            del self.records[wid]
+            self.adapters[record.src].enqueue(new_record)
+
+        delay = self._rng.randint(*self.flush_backoff)
+        self.schedule(delay, retransmit)
+
+    def schedule(self, delay: int, action: Callable[[], None]) -> None:
+        heapq.heappush(
+            self._actions, (self.now + delay, next(self._action_seq), action)
+        )
+
+    # -- tick loop -----------------------------------------------------------------
+    def tick(self) -> bool:
+        """Advance one byte-time; returns True if any flit moved."""
+        self.now += 1
+        while self._actions and self._actions[0][0] <= self.now:
+            _, _, action = heapq.heappop(self._actions)
+            action()
+        moved = False
+        for switch in self.switches.values():
+            if switch.tick_input(self.now):
+                moved = True
+        for adapter in self.adapters.values():
+            if adapter.tick_input(self.now):
+                moved = True
+        for switch in self.switches.values():
+            if switch.tick_output(self.now):
+                moved = True
+        for adapter in self.adapters.values():
+            if adapter.tick_output(self.now):
+                moved = True
+        return moved
+
+    def pending_worms(self) -> List[int]:
+        """Worm ids not yet fully delivered (plus incomplete host-adapter
+        multicast messages, reported as negative message ids)."""
+        pending = [w for w, r in self.records.items() if not r.fully_delivered]
+        pending.extend(-m.mid for m in self.messages.values() if not m.complete)
+        return pending
+
+    def run(
+        self,
+        max_ticks: int = 100_000,
+        quiet_limit: int = 2_000,
+        raise_on_deadlock: bool = True,
+    ) -> str:
+        """Run until every worm is delivered, progress stalls, or the tick
+        budget runs out.  Returns "delivered", "deadlock" or "timeout".
+
+        Progress is measured on worm *payload*: IDLE fills spinning through
+        a deadlocked cycle (Figure 3) do not count.
+        """
+        last_progress = self.now
+        last_signature = self._progress_signature()
+        while self.now < max_ticks:
+            self.tick()
+            if not self.pending_worms():
+                return "delivered"
+            signature = self._progress_signature()
+            if signature != last_signature or self._actions:
+                last_signature = signature
+                last_progress = self.now
+            elif self.now - last_progress >= quiet_limit:
+                if raise_on_deadlock:
+                    raise DeadlockDetected(last_progress, self.pending_worms())
+                return "deadlock"
+        return "timeout"
+
+    def _progress_signature(self) -> Tuple:
+        received = tuple(
+            (a.host_id, a.received_flits) for a in self.adapters.values()
+        )
+        sent = tuple(
+            (wid, r.injected_at, len(r.delivered_at))
+            for wid, r in sorted(self.records.items())
+        )
+        return received, sent

@@ -1,0 +1,71 @@
+"""Unidirectional wires with a paired reverse STOP/GO signal."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.net.flitlevel.flits import Flit
+
+
+class Wire:
+    """A point-to-point link carrying one flit per tick, with ``delay``
+    ticks of propagation; STOP/GO symbols travel the reverse direction with
+    the same delay (Myrinet interleaves control symbols on the return
+    link)."""
+
+    def __init__(self, delay: int = 1) -> None:
+        if delay < 1:
+            raise ValueError("wire delay must be at least 1 tick")
+        self.delay = delay
+        self._forward: Deque[Tuple[int, Flit]] = deque()
+        self._reverse: Deque[Tuple[int, bool]] = deque()
+        self._stop_at_sender = False
+        self._last_push_tick = -1
+        self.carried = 0
+        self.idles = 0
+
+    # -- forward (data) ------------------------------------------------------
+    def push(self, flit: Flit, now: int) -> None:
+        """Transmit a flit; at most one per tick."""
+        if now == self._last_push_tick:
+            raise RuntimeError(f"two flits pushed on one wire in tick {now}")
+        self._last_push_tick = now
+        self._forward.append((now + self.delay, flit))
+        self.carried += 1
+        if flit.kind.value == "idle":
+            self.idles += 1
+
+    def can_push(self, now: int) -> bool:
+        return now != self._last_push_tick
+
+    def deliver(self, now: int) -> Optional[Flit]:
+        """The flit arriving at the receiver this tick, if any."""
+        if self._forward and self._forward[0][0] <= now:
+            return self._forward.popleft()[1]
+        return None
+
+    def drop_worm(self, wid: int) -> int:
+        """Remove in-flight flits of a flushed worm (backward reset)."""
+        kept = deque((due, f) for due, f in self._forward if f.wid != wid)
+        dropped = len(self._forward) - len(kept)
+        self._forward = kept
+        return dropped
+
+    # -- reverse (STOP/GO) ------------------------------------------------------
+    def signal_stop(self, stop: bool, now: int) -> None:
+        """Receiver-side: send a STOP (True) or GO (False) symbol upstream.
+
+        Callers only signal on changes; redundant signals are harmless.
+        """
+        self._reverse.append((now + self.delay, stop))
+
+    def stop_at_sender(self, now: int) -> bool:
+        """Sender-side: the STOP/GO state currently in effect."""
+        while self._reverse and self._reverse[0][0] <= now:
+            self._stop_at_sender = self._reverse.popleft()[1]
+        return self._stop_at_sender
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._forward)

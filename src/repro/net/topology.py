@@ -1,0 +1,434 @@
+"""Network topologies: switches, hosts, links, and the paper's test networks.
+
+A :class:`Topology` is an undirected multigraph of *switches* and *hosts*.
+Hosts attach to exactly one switch (their adapter port); switches
+interconnect freely.  Node identifiers are global integers; the protocols in
+:mod:`repro.core` order hosts by these IDs, exactly as the paper orders hosts
+by ID for deadlock prevention.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+SWITCH = "switch"
+HOST = "host"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A network node: a crossbar switch or a host (adapter)."""
+
+    id: int
+    kind: str
+    name: str
+
+    @property
+    def is_host(self) -> bool:
+        return self.kind == HOST
+
+    @property
+    def is_switch(self) -> bool:
+        return self.kind == SWITCH
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected link between two nodes.
+
+    ``prop_delay`` is the one-way propagation delay in byte-times (the
+    shufflenet experiments of Figure 11 use 1000 byte-times).
+    """
+
+    id: int
+    a: int
+    b: int
+    prop_delay: float = 0.0
+
+    def other(self, node: int) -> int:
+        """The endpoint opposite ``node``."""
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise ValueError(f"node {node} is not an endpoint of link {self.id}")
+
+    @property
+    def ends(self) -> Tuple[int, int]:
+        return (self.a, self.b)
+
+
+class Topology:
+    """An undirected switch/host graph."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self._nodes: Dict[int, Node] = {}
+        self._links: List[Link] = []
+        self._adjacency: Dict[int, List[Link]] = {}
+        self._host_link: Dict[int, Link] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_switch(self, name: Optional[str] = None) -> int:
+        """Add a switch; returns its node id."""
+        nid = len(self._nodes)
+        node = Node(nid, SWITCH, name or f"s{nid}")
+        self._nodes[nid] = node
+        self._adjacency[nid] = []
+        return nid
+
+    def add_host(
+        self, switch: int, name: Optional[str] = None, prop_delay: float = 0.0
+    ) -> int:
+        """Add a host attached to ``switch``; returns its node id."""
+        if self.node(switch).kind != SWITCH:
+            raise ValueError(f"hosts must attach to switches, {switch} is a host")
+        nid = len(self._nodes)
+        node = Node(nid, HOST, name or f"h{nid}")
+        self._nodes[nid] = node
+        self._adjacency[nid] = []
+        link = self._connect(nid, switch, prop_delay)
+        self._host_link[nid] = link
+        return nid
+
+    def add_link(self, a: int, b: int, prop_delay: float = 0.0) -> Link:
+        """Add a switch-to-switch link.
+
+        Parallel links between the same switch pair are rejected: directed
+        channels are identified by their endpoint pair throughout the
+        simulator.
+        """
+        if a == b:
+            raise ValueError("self-links are not allowed")
+        for node in (a, b):
+            if self.node(node).kind != SWITCH:
+                raise ValueError(f"add_link joins switches only, {node} is a host")
+        if any(link.other(a) == b for link in self._adjacency[a]):
+            raise ValueError(f"link {a}-{b} already exists")
+        return self._connect(a, b, prop_delay)
+
+    def _connect(self, a: int, b: int, prop_delay: float) -> Link:
+        link = Link(len(self._links), a, b, prop_delay)
+        self._links.append(link)
+        self._adjacency[a].append(link)
+        self._adjacency[b].append(link)
+        return link
+
+    # -- access ---------------------------------------------------------------
+    def node(self, nid: int) -> Node:
+        try:
+            return self._nodes[nid]
+        except KeyError:
+            raise KeyError(f"no node with id {nid} in topology {self.name!r}") from None
+
+    @property
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links)
+
+    @property
+    def switches(self) -> List[int]:
+        return [n.id for n in self._nodes.values() if n.is_switch]
+
+    @property
+    def hosts(self) -> List[int]:
+        """Host ids in increasing order (the paper's deadlock-prevention order)."""
+        return sorted(n.id for n in self._nodes.values() if n.is_host)
+
+    def adjacent(self, nid: int) -> List[Link]:
+        """Links incident to ``nid``."""
+        return list(self._adjacency[nid])
+
+    def neighbors(self, nid: int) -> Iterator[Tuple[int, Link]]:
+        """(peer id, link) pairs for every link at ``nid``."""
+        for link in self._adjacency[nid]:
+            yield link.other(nid), link
+
+    def host_switch(self, host: int) -> int:
+        """The switch a host attaches to."""
+        link = self._host_link.get(host)
+        if link is None:
+            raise ValueError(f"{host} is not a host")
+        return link.other(host)
+
+    def host_link(self, host: int) -> Link:
+        """The adapter link of ``host``."""
+        link = self._host_link.get(host)
+        if link is None:
+            raise ValueError(f"{host} is not a host")
+        return link
+
+    def is_connected(self) -> bool:
+        """True when every node is reachable from every other."""
+        if not self._nodes:
+            return True
+        seen = set()
+        stack = [next(iter(self._nodes))]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            for peer, _ in self.neighbors(nid):
+                if peer not in seen:
+                    stack.append(peer)
+        return len(seen) == len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Topology {self.name!r}: {len(self.switches)} switches, "
+            f"{len(self.hosts)} hosts, {len(self._links)} links>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def torus(
+    rows: int = 8,
+    cols: int = 8,
+    hosts_per_switch: int = 1,
+    prop_delay: float = 0.0,
+) -> Topology:
+    """A rows x cols wraparound torus, the paper's 8x8 simulation topology.
+
+    Each switch carries ``hosts_per_switch`` hosts (the paper attaches one).
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("torus needs at least 2 rows and 2 columns")
+    topo = Topology(name=f"torus-{rows}x{cols}")
+    grid = [[topo.add_switch(f"s{r},{c}") for c in range(cols)] for r in range(rows)]
+    seen = set()
+
+    def _wire(a: int, b: int) -> None:
+        # A 2-wide dimension wraps onto the same pair twice; keep one link.
+        key = frozenset({a, b})
+        if key not in seen:
+            seen.add(key)
+            topo.add_link(a, b, prop_delay)
+
+    for r in range(rows):
+        for c in range(cols):
+            _wire(grid[r][c], grid[r][(c + 1) % cols])
+    for c in range(cols):
+        for r in range(rows):
+            _wire(grid[r][c], grid[(r + 1) % rows][c])
+    for r in range(rows):
+        for c in range(cols):
+            for h in range(hosts_per_switch):
+                topo.add_host(grid[r][c], f"h{r},{c}.{h}")
+    return topo
+
+
+def mesh(rows: int, cols: int, hosts_per_switch: int = 1) -> Topology:
+    """A rows x cols grid without wraparound links."""
+    if rows < 1 or cols < 1:
+        raise ValueError("mesh needs positive dimensions")
+    topo = Topology(name=f"mesh-{rows}x{cols}")
+    grid = [[topo.add_switch(f"s{r},{c}") for c in range(cols)] for r in range(rows)]
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_link(grid[r][c], grid[r][c + 1])
+            if r + 1 < rows:
+                topo.add_link(grid[r][c], grid[r + 1][c])
+    for r in range(rows):
+        for c in range(cols):
+            for h in range(hosts_per_switch):
+                topo.add_host(grid[r][c], f"h{r},{c}.{h}")
+    return topo
+
+
+def bidirectional_shufflenet(
+    p: int = 2, k: int = 3, prop_delay: float = 0.0
+) -> Topology:
+    """The (p, k) bidirectional shufflenet of [PLG95]; (2, 3) gives 24 nodes.
+
+    Nodes are arranged in ``k`` columns of ``p**k`` rows; node (c, r) links to
+    (c+1 mod k, (r*p + j) mod p**k) for j in 0..p-1, links made bidirectional.
+    Each switch carries one host, as in the paper's Figure 11 experiment.
+    """
+    if p < 2 or k < 1:
+        raise ValueError("shufflenet needs p >= 2 and k >= 1")
+    rows = p**k
+    topo = Topology(name=f"bshufflenet-{p},{k}")
+    grid = [[topo.add_switch(f"s{c},{r}") for r in range(rows)] for c in range(k)]
+    seen = set()
+    for c in range(k):
+        nxt = (c + 1) % k
+        for r in range(rows):
+            for j in range(p):
+                r2 = (r * p + j) % rows
+                key = frozenset({(c, r), (nxt, r2)})
+                # k == 1 or p-cycle shuffles can generate duplicate pairs;
+                # keep the multigraph simple.
+                if key in seen or (c, r) == (nxt, r2):
+                    continue
+                seen.add(key)
+                topo.add_link(grid[c][r], grid[nxt][r2], prop_delay)
+    for c in range(k):
+        for r in range(rows):
+            # Adapter links are local: only switch-to-switch links carry the
+            # (long) propagation delay in the Figure 11 experiments.
+            topo.add_host(grid[c][r], f"h{c},{r}")
+    return topo
+
+
+def line(n_switches: int, hosts_per_switch: int = 1) -> Topology:
+    """``n_switches`` switches in a chain."""
+    if n_switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology(name=f"line-{n_switches}")
+    ids = [topo.add_switch() for _ in range(n_switches)]
+    for a, b in zip(ids, ids[1:]):
+        topo.add_link(a, b)
+    for sid in ids:
+        for _ in range(hosts_per_switch):
+            topo.add_host(sid)
+    return topo
+
+
+def ring(n_switches: int, hosts_per_switch: int = 1) -> Topology:
+    """``n_switches`` switches in a cycle."""
+    if n_switches < 3:
+        raise ValueError("a ring needs at least three switches")
+    topo = Topology(name=f"ring-{n_switches}")
+    ids = [topo.add_switch() for _ in range(n_switches)]
+    for i, sid in enumerate(ids):
+        topo.add_link(sid, ids[(i + 1) % n_switches])
+    for sid in ids:
+        for _ in range(hosts_per_switch):
+            topo.add_host(sid)
+    return topo
+
+
+def star(n_leaves: int, hosts_per_leaf: int = 1) -> Topology:
+    """A hub switch with ``n_leaves`` leaf switches, hosts on the leaves."""
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    topo = Topology(name=f"star-{n_leaves}")
+    hub = topo.add_switch("hub")
+    for _ in range(n_leaves):
+        leaf = topo.add_switch()
+        topo.add_link(hub, leaf)
+        for _ in range(hosts_per_leaf):
+            topo.add_host(leaf)
+    return topo
+
+
+def myrinet_testbed(hosts: int = 8, switches: int = 4) -> Topology:
+    """The 4-switch / 8-host Myrinet configuration of the measurements
+    (Section 8.2): switches in a chain, hosts spread evenly across them."""
+    if switches < 1 or hosts < 1:
+        raise ValueError("need at least one switch and one host")
+    topo = Topology(name=f"myrinet-{switches}sw-{hosts}h")
+    ids = [topo.add_switch() for _ in range(switches)]
+    for a, b in zip(ids, ids[1:]):
+        topo.add_link(a, b)
+    for h in range(hosts):
+        topo.add_host(ids[h % switches], f"host{h}")
+    return topo
+
+
+def random_irregular(
+    n_switches: int,
+    extra_links: int = 0,
+    hosts_per_switch: int = 1,
+    seed: int = 0,
+) -> Topology:
+    """A random connected topology: a random spanning tree plus
+    ``extra_links`` random crosslinks (the 'almost a tree with a few
+    crosslinks as back-ups' case discussed in Section 3)."""
+    if n_switches < 1:
+        raise ValueError("need at least one switch")
+    rng = random.Random(seed)
+    topo = Topology(name=f"irregular-{n_switches}+{extra_links}")
+    ids = [topo.add_switch() for _ in range(n_switches)]
+    shuffled = ids[:]
+    rng.shuffle(shuffled)
+    for i in range(1, n_switches):
+        topo.add_link(shuffled[i], rng.choice(shuffled[:i]))
+    existing = {frozenset(l.ends) for l in topo.links}
+    candidates = [
+        (a, b)
+        for i, a in enumerate(ids)
+        for b in ids[i + 1 :]
+        if frozenset({a, b}) not in existing
+    ]
+    rng.shuffle(candidates)
+    for a, b in candidates[:extra_links]:
+        topo.add_link(a, b)
+    for sid in ids:
+        for _ in range(hosts_per_switch):
+            topo.add_host(sid)
+    return topo
+
+
+def hypercube(dimension: int, hosts_per_switch: int = 1) -> Topology:
+    """A ``dimension``-cube of switches (2**dimension nodes), the classic
+    wormhole-routing multiprocessor topology [NM93]."""
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    topo = Topology(name=f"hypercube-{dimension}")
+    count = 2**dimension
+    ids = [topo.add_switch(f"s{index:0{dimension}b}") for index in range(count)]
+    for index in range(count):
+        for bit in range(dimension):
+            peer = index ^ (1 << bit)
+            if peer > index:
+                topo.add_link(ids[index], ids[peer])
+    for sid in ids:
+        for _ in range(hosts_per_switch):
+            topo.add_host(sid)
+    return topo
+
+
+def complete_switches(n_switches: int, hosts_per_switch: int = 1) -> Topology:
+    """Fully connected switch graph (every crosslink present): the extreme
+    case for the Section 3 tree-restriction penalty, since up/down
+    routing leaves most links unused."""
+    if n_switches < 2:
+        raise ValueError("need at least two switches")
+    topo = Topology(name=f"complete-{n_switches}")
+    ids = [topo.add_switch() for _ in range(n_switches)]
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            topo.add_link(a, b)
+    for sid in ids:
+        for _ in range(hosts_per_switch):
+            topo.add_host(sid)
+    return topo
+
+
+def fig3_topology() -> Topology:
+    """The five-switch scenario of Figure 3 (deadlock between a multicast and
+    a unicast worm under up/down routing with a crosslink).
+
+    Switches A, B, C, D, E; spanning-tree links A-B, B-C(via figure's layout
+    A-C), C-D, B-E and crosslink D-E; hosts b (on E) and c (on D) plus source
+    hosts on A.
+    """
+    topo = Topology(name="fig3")
+    a = topo.add_switch("A")
+    b = topo.add_switch("B")
+    c = topo.add_switch("C")
+    d = topo.add_switch("D")
+    e = topo.add_switch("E")
+    topo.add_link(a, b)
+    topo.add_link(a, c)
+    topo.add_link(c, d)
+    topo.add_link(b, e)
+    topo.add_link(d, e)  # the crosslink
+    topo.add_host(a, "srcM")  # multicast source
+    topo.add_host(a, "srcU")  # unicast source
+    topo.add_host(e, "host_b")
+    topo.add_host(d, "host_c")
+    topo.add_host(c, "host_y")  # the figure's unicast source routing via C
+    return topo

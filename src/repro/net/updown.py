@@ -1,0 +1,278 @@
+"""Deadlock-free up/down routing (Autonet / Myrinet style).
+
+One node is chosen as the *root*; a BFS spanning tree assigns every node a
+level (distance from the root).  Traversing a link towards the root (to a
+node at lesser distance; node ID breaks ties between equal levels) is an
+*up* hop, the reverse is a *down* hop.  A legal route traverses zero or more
+up hops followed by zero or more down hops, which makes the channel
+dependency graph acyclic and hence the routing deadlock-free [SBB+91, DS87].
+
+Routes are computed as shortest legal paths with a deterministic tie-break,
+matching the paper's "fixed choice of one path per source-destination pair
+among all possible equal length paths" (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.net.topology import Link, Topology
+
+#: Route phases for the layered shortest-path search.
+_UP, _DOWN = 0, 1
+
+#: A directed hop: (from-node, to-node, link).
+Hop = Tuple[int, int, Link]
+
+
+class UpDownRouting:
+    """Up/down route computation over a topology.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    root:
+        Root node id for the spanning tree.  Defaults to the lowest-id
+        switch (the paper picks the root arbitrarily).
+    """
+
+    def __init__(self, topology: Topology, root: Optional[int] = None) -> None:
+        if not topology.is_connected():
+            raise ValueError("up/down routing requires a connected topology")
+        self.topology = topology
+        switches = topology.switches
+        if not switches:
+            raise ValueError("topology has no switches")
+        self.root = switches[0] if root is None else root
+        if topology.node(self.root).kind != "switch":
+            raise ValueError(f"root {self.root} must be a switch")
+        self.level: Dict[int, int] = {}
+        self.parent: Dict[int, Optional[int]] = {}
+        self._tree_links: Set[int] = set()
+        self._build_tree()
+        self._route_cache: Dict[Tuple[int, int], List[Hop]] = {}
+
+    # -- spanning tree --------------------------------------------------------
+    def _build_tree(self) -> None:
+        """BFS spanning tree from the root; deterministic neighbor order."""
+        self.level[self.root] = 0
+        self.parent[self.root] = None
+        frontier = deque([self.root])
+        while frontier:
+            nid = frontier.popleft()
+            for peer, link in sorted(
+                self.topology.neighbors(nid), key=lambda pair: pair[0]
+            ):
+                if peer in self.level:
+                    continue
+                self.level[peer] = self.level[nid] + 1
+                self.parent[peer] = nid
+                self._tree_links.add(link.id)
+                frontier.append(peer)
+
+    @property
+    def tree_links(self) -> Set[int]:
+        """Ids of links in the up/down spanning tree."""
+        return set(self._tree_links)
+
+    def is_crosslink(self, link: Link) -> bool:
+        """True if ``link`` is not part of the spanning tree (e.g. D-E in
+        Figure 3)."""
+        return link.id not in self._tree_links
+
+    def is_up(self, src: int, dst: int) -> bool:
+        """True if traversing src -> dst is an *up* hop.
+
+        Up means moving to a node at lesser distance from the root; equal
+        levels are ordered by node id (lower id is 'higher', i.e. closer to
+        the root).
+        """
+        ls, ld = self.level[src], self.level[dst]
+        if ld != ls:
+            return ld < ls
+        return dst < src
+
+    # -- routes ----------------------------------------------------------------
+    def route(
+        self, src: int, dst: int, restrict_to_tree: bool = False
+    ) -> List[Hop]:
+        """Shortest legal up*/down* route from ``src`` to ``dst``.
+
+        ``restrict_to_tree`` confines the route to spanning-tree links (the
+        Section 3 scheme that forbids crosslinks for deadlock-free
+        switch-level multicast).
+        """
+        if src == dst:
+            return []
+        key = (src, dst, restrict_to_tree)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return list(cached)
+        hops = self._search(src, dst, restrict_to_tree)
+        if hops is None:
+            raise ValueError(f"no legal up/down route from {src} to {dst}")
+        self._route_cache[key] = hops
+        return list(hops)
+
+    def _search(
+        self, src: int, dst: int, restrict_to_tree: bool
+    ) -> Optional[List[Hop]]:
+        """BFS over (node, phase) states; phase flips irreversibly to DOWN."""
+        start = (src, _UP)
+        prev: Dict[Tuple[int, int], Tuple[Tuple[int, int], Hop]] = {}
+        seen = {start}
+        frontier = deque([start])
+        goal: Optional[Tuple[int, int]] = None
+        while frontier and goal is None:
+            node, phase = frontier.popleft()
+            for peer, link in sorted(
+                self.topology.neighbors(node), key=lambda pair: pair[0]
+            ):
+                if restrict_to_tree and self.is_crosslink(link):
+                    continue
+                up_hop = self.is_up(node, peer)
+                if phase == _DOWN and up_hop:
+                    continue  # down -> up transitions are illegal
+                state = (peer, _UP if up_hop else _DOWN)
+                if state in seen:
+                    continue
+                seen.add(state)
+                prev[state] = ((node, phase), (node, peer, link))
+                if peer == dst:
+                    goal = state
+                    break
+                frontier.append(state)
+        if goal is None:
+            # dst may have been reached in the other phase already.
+            for phase in (_UP, _DOWN):
+                if (dst, phase) in prev or (dst, phase) == start:
+                    goal = (dst, phase)
+                    break
+        if goal is None:
+            return None
+        hops: List[Hop] = []
+        state = goal
+        while state != start:
+            state, hop = prev[state]
+            hops.append(hop)
+        hops.reverse()
+        return hops
+
+    def multi_route(
+        self, src: int, dsts: Sequence[int], restrict_to_tree: bool = False
+    ) -> Dict[int, List[Hop]]:
+        """Routes from ``src`` to several destinations out of a *single*
+        layered BFS, so the paths are prefix-consistent and their union
+        forms a tree (the switch-level multicast route of Section 3)."""
+        targets = set(dsts)
+        if src in targets:
+            raise ValueError("source cannot be a multicast destination")
+        start = (src, _UP)
+        prev: Dict[Tuple[int, int], Tuple[Tuple[int, int], Hop]] = {}
+        seen = {start}
+        frontier = deque([start])
+        found: Dict[int, Tuple[int, int]] = {}
+        while frontier and len(found) < len(targets):
+            node, phase = frontier.popleft()
+            for peer, link in sorted(
+                self.topology.neighbors(node), key=lambda pair: pair[0]
+            ):
+                if restrict_to_tree and self.is_crosslink(link):
+                    continue
+                up_hop = self.is_up(node, peer)
+                if phase == _DOWN and up_hop:
+                    continue
+                state = (peer, _UP if up_hop else _DOWN)
+                if state in seen:
+                    continue
+                seen.add(state)
+                prev[state] = ((node, phase), (node, peer, link))
+                if peer in targets and peer not in found:
+                    found[peer] = state
+                frontier.append(state)
+        missing = targets - set(found)
+        if missing:
+            raise ValueError(f"no legal route from {src} to {sorted(missing)}")
+        routes: Dict[int, List[Hop]] = {}
+        for dst, goal in found.items():
+            hops: List[Hop] = []
+            state = goal
+            while state != start:
+                state, hop = prev[state]
+                hops.append(hop)
+            hops.reverse()
+            routes[dst] = hops
+        return routes
+
+    def route_nodes(self, src: int, dst: int, restrict_to_tree: bool = False) -> List[int]:
+        """The node sequence of :meth:`route`, including endpoints."""
+        hops = self.route(src, dst, restrict_to_tree)
+        if not hops:
+            return [src]
+        return [hops[0][0]] + [hop[1] for hop in hops]
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Length (in hops) of the legal route between two nodes."""
+        return len(self.route(src, dst))
+
+    def is_legal(self, nodes: Sequence[int]) -> bool:
+        """Check that a node path obeys the up*/down* rule and uses real links."""
+        phase = _UP
+        for a, b in zip(nodes, nodes[1:]):
+            if not any(peer == b for peer, _ in self.topology.neighbors(a)):
+                return False
+            if self.is_up(a, b):
+                if phase == _DOWN:
+                    return False
+            else:
+                phase = _DOWN
+        return True
+
+    def down_links(self, switch: int) -> List[Link]:
+        """Spanning-tree links leading away from the root at ``switch``
+        (the broadcast address of Section 3 forwards to all of these)."""
+        result = []
+        for peer, link in self.topology.neighbors(switch):
+            if link.id in self._tree_links and not self.is_up(switch, peer):
+                result.append(link)
+        return result
+
+
+def check_deadlock_free(
+    routing: UpDownRouting, pairs: Optional[Sequence[Tuple[int, int]]] = None
+) -> bool:
+    """Verify acyclicity of the channel dependency graph induced by routes.
+
+    For every route, each consecutive pair of directed channels adds a
+    dependency edge; the routing is deadlock-free iff the graph is acyclic
+    [DS87].  ``pairs`` defaults to all ordered host pairs.
+    """
+    topo = routing.topology
+    if pairs is None:
+        hosts = topo.hosts
+        pairs = [(a, b) for a in hosts for b in hosts if a != b]
+    edges: Dict[Tuple[int, int], Set[Tuple[int, int]]] = {}
+    for src, dst in pairs:
+        hops = routing.route(src, dst)
+        channels = [(a, b) for a, b, _ in hops]
+        for first, second in zip(channels, channels[1:]):
+            edges.setdefault(first, set()).add(second)
+        for channel in channels:
+            edges.setdefault(channel, set())
+    # Kahn's algorithm.
+    indegree = {node: 0 for node in edges}
+    for deps in edges.values():
+        for dep in deps:
+            indegree[dep] += 1
+    ready = deque(node for node, deg in indegree.items() if deg == 0)
+    visited = 0
+    while ready:
+        node = ready.popleft()
+        visited += 1
+        for dep in edges[node]:
+            indegree[dep] -= 1
+            if indegree[dep] == 0:
+                ready.append(dep)
+    return visited == len(edges)

@@ -1,0 +1,166 @@
+"""Worm records.
+
+A *worm* is the wormhole network's unit of transfer: a variable-length
+message (a few bytes to 9 KB in Myrinet) whose header carries the source
+route.  At the worm-level of modelling we track the metadata needed by the
+multicast protocols; the byte-exact header layout lives in
+:mod:`repro.core.route_encoding` and :mod:`repro.net.flitlevel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+#: Myrinet's maximum worm size (LANai control-program limit), bytes.
+MAX_WORM_BYTES = 9 * 1024
+
+#: Modelled size of protocol control worms (ACK/NACK), bytes.
+CONTROL_WORM_BYTES = 8
+
+_worm_ids = itertools.count(1)
+
+
+class WormKind(str, Enum):
+    """What a worm carries.
+
+    The credit kinds belong to the [VLB96] centralized-credit baseline:
+    credit requests/grants between sources and the credit manager, and the
+    credit-gathering token that tours the group members.
+    """
+
+    UNICAST = "unicast"
+    MULTICAST = "multicast"
+    ACK = "ack"
+    NACK = "nack"
+    CREDIT_REQUEST = "credit_request"
+    CREDIT_GRANT = "credit_grant"
+    TOKEN = "token"
+
+
+@dataclass
+class Worm:
+    """One worm in flight.
+
+    Attributes
+    ----------
+    source, dest:
+        The *current hop's* endpoints (host ids).  For host-adapter
+        multicasting the worm is re-addressed at every member.
+    origin:
+        The host that originated the message (stable across hops).
+    length:
+        Total worm length in bytes, header included.
+    kind:
+        See :class:`WormKind`.
+    group:
+        Multicast group id (8-bit in the Myrinet implementation), or None.
+    hop_count:
+        Remaining retransmissions on a Hamiltonian circuit; decremented at
+        each member, forwarding stops at zero (Section 5).
+    wrapped:
+        True once the worm has crossed the host-ID reversal (highest-ID to
+        lowest-ID member); selects the second buffer class (Section 4).
+    seqno:
+        Total-ordering sequence number, when a serializer assigned one.
+    created:
+        Origination time of the *message* (preserved across hops so
+        delivery latency spans the whole multicast).
+    payload:
+        Opaque application data (the adapter engine stores the shared
+        message record here).
+    phase:
+        Tree-broadcast direction phase: "climb" (towards the root) or
+        "descend"; selects the buffer class in that scheme.
+    accepted:
+        Set by the receiving adapter's implicit buffer reservation: True
+        once buffered, False when dropped (NACK), None while undecided.
+    """
+
+    source: int
+    dest: int
+    length: int
+    kind: WormKind = WormKind.UNICAST
+    origin: Optional[int] = None
+    group: Optional[int] = None
+    hop_count: int = 0
+    wrapped: bool = False
+    seqno: Optional[int] = None
+    created: float = 0.0
+    payload: Any = None
+    phase: Optional[str] = None
+    accepted: Optional[bool] = None
+    relay: bool = False
+    wid: int = field(default_factory=lambda: next(_worm_ids))
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"worm length must be positive, got {self.length}")
+        if self.length > MAX_WORM_BYTES:
+            raise ValueError(
+                f"worm length {self.length} exceeds Myrinet max {MAX_WORM_BYTES}"
+            )
+        if self.origin is None:
+            self.origin = self.source
+
+    def forwarded_to(self, next_dest: int, **overrides: Any) -> "Worm":
+        """A copy of this worm re-addressed for the next hop of a multicast.
+
+        The message identity fields (origin, group, seqno, created, payload,
+        length) are preserved; per-hop fields may be overridden.
+        """
+        fields = dict(
+            source=self.dest,
+            dest=next_dest,
+            length=self.length,
+            kind=self.kind,
+            origin=self.origin,
+            group=self.group,
+            hop_count=self.hop_count,
+            wrapped=self.wrapped,
+            seqno=self.seqno,
+            created=self.created,
+            payload=self.payload,
+            phase=self.phase,
+        )
+        fields.update(overrides)
+        return Worm(**fields)
+
+    def retry_copy(self) -> "Worm":
+        """A fresh copy for retransmission after a NACK: same addressing and
+        message identity, reset admission state, new worm id."""
+        fields = dict(
+            source=self.source,
+            dest=self.dest,
+            length=self.length,
+            kind=self.kind,
+            origin=self.origin,
+            group=self.group,
+            hop_count=self.hop_count,
+            wrapped=self.wrapped,
+            seqno=self.seqno,
+            created=self.created,
+            payload=self.payload,
+            phase=self.phase,
+            relay=self.relay,
+        )
+        return Worm(**fields)
+
+    @property
+    def is_control(self) -> bool:
+        return self.kind in (
+            WormKind.ACK,
+            WormKind.NACK,
+            WormKind.CREDIT_REQUEST,
+            WormKind.CREDIT_GRANT,
+            WormKind.TOKEN,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = f" g{self.group}" if self.group is not None else ""
+        return (
+            f"<Worm #{self.wid} {self.kind.value}{tag} "
+            f"{self.source}->{self.dest} len={self.length}>"
+        )

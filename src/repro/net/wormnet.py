@@ -1,0 +1,357 @@
+"""Event-driven, worm-level wormhole network.
+
+This is the engine behind the Figure 10/11 experiments.  It models wormhole
+dynamics at the *worm* level:
+
+* the head acquires the directed channels of its source route hop by hop;
+* while the head is blocked waiting for a channel, every channel already
+  acquired stays held (backpressure: the worm's body backs up into slack
+  buffers, links carry no other traffic);
+* once the head reaches the destination adapter the body streams at link
+  rate (1 byte per byte-time), so the tail arrives ``length`` byte-times
+  after the head;
+* each channel is released when the worm's tail passes it, so short worms on
+  long links (the 1000-byte-time propagation delays of Figure 11) do not
+  hold whole paths needlessly.
+
+Blocked worms queue per channel in arrival order, the worm-level equivalent
+of the crossbar's round-robin service of blocked worms.  Per-byte slack
+buffer/STOP/GO behaviour is modelled exactly in :mod:`repro.net.flitlevel`;
+at the loads and worm sizes of the paper's experiments the worm-level
+abstraction preserves the contention behaviour that dominates latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.monitor import TallyStat
+from repro.sim.resources import Request, Resource
+from repro.net.topology import Link, Topology
+from repro.net.updown import UpDownRouting
+from repro.net.worm import Worm
+
+ReceiverFn = Callable[[Worm, "Transfer"], None]
+
+
+class Channel:
+    """A directed channel over one physical link."""
+
+    __slots__ = (
+        "sim",
+        "link",
+        "src",
+        "dst",
+        "prop_delay",
+        "resource",
+        "busy_time",
+        "acquisitions",
+        "_busy_since",
+        "_stats_start",
+    )
+
+    def __init__(self, sim: Simulator, link: Link, src: int, dst: int) -> None:
+        self.sim = sim
+        self.link = link
+        self.src = src
+        self.dst = dst
+        self.prop_delay = link.prop_delay
+        self.resource = Resource(sim, capacity=1)
+        self.busy_time = 0.0
+        self.acquisitions = 0
+        self._busy_since = 0.0
+        self._stats_start = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.resource.count > 0
+
+    def acquire(self) -> Request:
+        return self.resource.request()
+
+    def on_granted(self, now: float) -> None:
+        """Bookkeeping hook: channel became busy at ``now``."""
+        self.acquisitions += 1
+        self._busy_since = now
+
+    def release(self, request: Request, now: float) -> None:
+        self.busy_time += now - self._busy_since
+        self.resource.release(request)
+
+    def utilization(self, now: float) -> float:
+        """Fraction of time busy since the last stats reset."""
+        window = now - self._stats_start
+        busy = self.busy_time
+        if self.busy:
+            busy += now - self._busy_since
+        return busy / window if window > 0 else 0.0
+
+    def reset_stats(self, now: float) -> None:
+        self.busy_time = 0.0
+        self.acquisitions = 0
+        self._stats_start = now
+        if self.busy:
+            self._busy_since = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Channel {self.src}->{self.dst} busy={self.busy}>"
+
+
+class Transfer:
+    """Handle for one worm's trip through the network.
+
+    Exposes two waitable events:
+
+    * :attr:`head_arrived` -- the worm's head reached the destination
+      adapter (used for cut-through forwarding decisions);
+    * :attr:`completed` -- the tail arrived; the worm is fully received.
+    """
+
+    __slots__ = (
+        "worm",
+        "head_arrived",
+        "completed",
+        "start_time",
+        "head_time",
+        "finish_time",
+        "blocked_time",
+        "blocked_hops",
+        "dropped",
+        "_blocked_since",
+    )
+
+    def __init__(self, sim: Simulator, worm: Worm) -> None:
+        self.worm = worm
+        self.head_arrived: Event = sim.event()
+        self.completed: Event = sim.event()
+        self.start_time = sim.now
+        self.head_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.blocked_time = 0.0
+        self.blocked_hops = 0
+        #: True when the worm was flushed mid-network (loss injection).
+        self.dropped = False
+        self._blocked_since: Optional[float] = None
+
+    @property
+    def latency(self) -> float:
+        """Injection-to-tail-delivery time of this hop."""
+        if self.finish_time is None:
+            raise RuntimeError("transfer not complete")
+        return self.finish_time - self.start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Transfer {self.worm!r} done={self.finish_time is not None}>"
+
+
+class WormholeNetwork:
+    """The wormhole LAN: channels + routing + the transfer engine.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    topology:
+        The switch/host graph.
+    routing:
+        An :class:`~repro.net.updown.UpDownRouting`; built with default root
+        if omitted.
+    switch_latency:
+        Per-hop head processing time in byte-times (route byte strip +
+        crossbar setup; order of a byte-time in Myrinet).
+    restrict_to_tree:
+        Confine *all* routes to the up/down spanning tree (the Section 3
+        S1 scheme).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        routing: Optional[UpDownRouting] = None,
+        switch_latency: float = 1.0,
+        restrict_to_tree: bool = False,
+        loss_rate: float = 0.0,
+        loss_seed: int = 99,
+    ) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.routing = routing or UpDownRouting(topology)
+        if self.routing.topology is not topology:
+            raise ValueError("routing was computed for a different topology")
+        self.switch_latency = switch_latency
+        self.restrict_to_tree = restrict_to_tree
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate outside [0, 1): {loss_rate}")
+        #: Fault injection: probability that a worm is flushed (e.g. by a
+        #: reset clearing a wedged path) somewhere along its route.  The
+        #: paper's reliability option -- circuit return + timeout
+        #: retransmission (Section 5) -- is exercised against this.
+        self.loss_rate = loss_rate
+        from repro.sim.rng import RandomStreams
+
+        self._loss_stream = RandomStreams(loss_seed).stream("wormnet.loss")
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+        for link in topology.links:
+            self._channels[(link.a, link.b)] = Channel(sim, link, link.a, link.b)
+            self._channels[(link.b, link.a)] = Channel(sim, link, link.b, link.a)
+        self._receivers: Dict[int, ReceiverFn] = {}
+        self._head_watchers: Dict[int, ReceiverFn] = {}
+        # Network-wide statistics.
+        self.delivered_worms = 0
+        self.delivered_bytes = 0.0
+        self.dropped_worms = 0
+        self.hop_latency = TallyStat("hop latency")
+        self.block_time = TallyStat("block time per transfer")
+
+    # -- wiring -----------------------------------------------------------
+    def channel(self, src: int, dst: int) -> Channel:
+        """The directed channel src -> dst (must be a physical link)."""
+        try:
+            return self._channels[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no channel {src}->{dst}") from None
+
+    @property
+    def channels(self) -> List[Channel]:
+        return list(self._channels.values())
+
+    def set_receiver(self, host: int, fn: ReceiverFn) -> None:
+        """Register the adapter callback for worms fully received at ``host``."""
+        self._receivers[host] = fn
+
+    def set_head_watcher(self, host: int, fn: ReceiverFn) -> None:
+        """Register a callback fired when a worm's *head* reaches ``host``
+        (cut-through forwarding decisions are made here)."""
+        self._head_watchers[host] = fn
+
+    def injection_channel(self, host: int) -> Channel:
+        """The host's outgoing adapter channel (one worm at a time)."""
+        return self.channel(host, self.topology.host_switch(host))
+
+    def route_channels(self, src_host: int, dst_host: int) -> List[Channel]:
+        """The directed channels of the legal route between two hosts."""
+        hops = self.routing.route(src_host, dst_host, self.restrict_to_tree)
+        return [self.channel(a, b) for a, b, _ in hops]
+
+    # -- sending -------------------------------------------------------------
+    def send(self, worm: Worm) -> Transfer:
+        """Inject ``worm``; returns a :class:`Transfer` handle immediately.
+
+        The worm travels from ``worm.source`` to ``worm.dest`` (both hosts).
+        """
+        if worm.source == worm.dest:
+            raise ValueError("use the adapter local-copy path for self-delivery")
+        transfer = Transfer(self.sim, worm)
+        channels = self.route_channels(worm.source, worm.dest)
+        self.sim.process(
+            self._run(transfer, channels), name=f"xfer-w{worm.wid}"
+        )
+        return transfer
+
+    def _run(self, transfer: Transfer, channels: List[Channel]):
+        sim = self.sim
+        worm = transfer.worm
+        drop_after = None
+        if self.loss_rate and self._loss_stream.bernoulli(self.loss_rate):
+            drop_after = self._loss_stream.randint(1, len(channels))
+        hops_done = 0
+        for ch in channels:
+            request = ch.acquire()
+            if not request.triggered:
+                transfer.blocked_hops += 1
+                wait_start = sim.now
+                transfer._blocked_since = wait_start
+                yield request
+                transfer._blocked_since = None
+                transfer.blocked_time += sim.now - wait_start
+            else:
+                yield request
+            ch.on_granted(sim.now)
+            yield sim.timeout(self.switch_latency + ch.prop_delay)
+            # The tail passes this channel ``length`` byte-times after the
+            # head crossed it, plus any stream stall the head suffers while
+            # blocked downstream (tracked in transfer.blocked_time).
+            self._release_when_tail_passes(transfer, ch, request, sim.now)
+            hops_done += 1
+            if drop_after is not None and hops_done == drop_after:
+                # The worm is flushed out of the network here: the sender
+                # still transmits its tail (it learns nothing), but no
+                # receiver ever sees the worm.
+                transfer.dropped = True
+                yield sim.timeout(worm.length)
+                transfer.finish_time = sim.now
+                self.dropped_worms += 1
+                transfer.completed.succeed(transfer)
+                return
+
+        transfer.head_time = sim.now
+
+        watcher = self._head_watchers.get(worm.dest)
+        transfer.head_arrived.succeed(transfer)
+        if watcher is not None:
+            watcher(worm, transfer)
+
+        yield sim.timeout(worm.length)
+        transfer.finish_time = sim.now
+        self.delivered_worms += 1
+        self.delivered_bytes += worm.length
+        self.hop_latency.add(transfer.latency)
+        self.block_time.add(transfer.blocked_time)
+        transfer.completed.succeed(transfer)
+        receiver = self._receivers.get(worm.dest)
+        if receiver is not None:
+            receiver(worm, transfer)
+
+    def _release_when_tail_passes(
+        self, transfer: Transfer, channel: Channel, request: Request, cross: float
+    ) -> None:
+        """Schedule the channel's release for when the worm's tail passes it.
+
+        Base time is ``cross + length`` (continuous streaming); every
+        byte-time the head later spends blocked stalls the stream, so the
+        deadline is re-evaluated against the transfer's accumulated block
+        time until it is stable.
+        """
+        sim = self.sim
+        length = transfer.worm.length
+        stall_at_schedule = transfer.blocked_time
+
+        def fire(_event: Event) -> None:
+            stall = transfer.blocked_time
+            if transfer._blocked_since is not None:
+                stall += sim.now - transfer._blocked_since
+            target = cross + length + (stall - stall_at_schedule)
+            if sim.now >= target - 1e-9:
+                channel.release(request, sim.now)
+            else:
+                retry = sim.timeout(target - sim.now)
+                retry.callbacks.append(fire)
+
+        timeout = sim.timeout(length)
+        timeout.callbacks.append(fire)
+
+    # -- statistics ------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Discard warm-up statistics (channel utilization and tallies)."""
+        now = self.sim.now
+        for channel in self._channels.values():
+            channel.reset_stats(now)
+        self.delivered_worms = 0
+        self.delivered_bytes = 0.0
+        self.dropped_worms = 0
+        self.hop_latency = TallyStat("hop latency")
+        self.block_time = TallyStat("block time per transfer")
+
+    def mean_utilization(self) -> float:
+        """Average channel utilization across switch-to-switch channels."""
+        now = self.sim.now
+        values = [
+            ch.utilization(now)
+            for ch in self._channels.values()
+            if self.topology.node(ch.src).is_switch
+            and self.topology.node(ch.dst).is_switch
+        ]
+        return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,50 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, simpy-style kernel used as the substitute for the
+Maisie simulation language the paper's simulator [BGK+96] was written in.
+
+The kernel provides:
+
+* :class:`~repro.sim.engine.Simulator` -- the event loop and clock.
+* :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  condition events and interrupts.
+* :class:`~repro.sim.process.Process` -- generator-coroutine processes.
+* :mod:`~repro.sim.resources` -- FIFO resources, stores and byte-counted
+  containers (used for links, ports and adapter buffer pools).
+* :mod:`~repro.sim.monitor` -- statistics collectors.
+* :mod:`~repro.sim.rng` -- named, reproducible random streams.
+
+The simulation clock unit throughout the reproduction is the **byte-time**:
+the time to transmit one byte on a 640 Mb/s Myrinet link (12.5 ns).
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.process import Process
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.monitor import Histogram, RateMeter, TallyStat, TimeWeightedStat
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "Event",
+    "Histogram",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "RateMeter",
+    "Resource",
+    "Simulator",
+    "Store",
+    "TallyStat",
+    "Timeout",
+    "TimeWeightedStat",
+]

@@ -1,0 +1,218 @@
+"""Statistics collectors for simulation output.
+
+All collectors are cheap enough to update on every sample and expose a
+``summary()`` dict used by the analysis layer and benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+
+class TallyStat:
+    """Streaming mean/variance/min/max over discrete observations (Welford)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if var == var else math.nan
+
+    def merge(self, other: "TallyStat") -> None:
+        """Fold another tally into this one (parallel Welford merge)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum if self.count else math.nan,
+            "max": self.maximum if self.count else math.nan,
+        }
+
+
+class TimeWeightedStat:
+    """Time-average of a piecewise-constant signal (e.g. queue length)."""
+
+    def __init__(self, now: float = 0.0, value: float = 0.0, name: str = "") -> None:
+        self.name = name
+        self._last_time = now
+        self._value = value
+        self._integral = 0.0
+        self._start = now
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, now: float, value: float) -> None:
+        """Set the signal to ``value`` at time ``now``."""
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._integral += self._value * (now - self._last_time)
+        self._last_time = now
+        self._value = value
+
+    def add(self, now: float, delta: float) -> None:
+        """Increment the signal by ``delta`` at time ``now``."""
+        self.update(now, self._value + delta)
+
+    def mean(self, now: Optional[float] = None) -> float:
+        """Time-average from creation until ``now`` (default: last update)."""
+        end = self._last_time if now is None else now
+        if end < self._last_time:
+            raise ValueError("time went backwards")
+        elapsed = end - self._start
+        if elapsed <= 0:
+            return math.nan
+        return (self._integral + self._value * (end - self._last_time)) / elapsed
+
+
+class RateMeter:
+    """Counts events/bytes and reports a rate over the observation window."""
+
+    def __init__(self, start: float = 0.0, name: str = "") -> None:
+        self.name = name
+        self._start = start
+        self.total = 0.0
+        self.events = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.total += amount
+        self.events += 1
+
+    def rate(self, now: float) -> float:
+        """Amount per time unit from the window start until ``now``."""
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return math.nan
+        return self.total / elapsed
+
+    def reset(self, now: float) -> None:
+        """Restart the window (used to discard warm-up transients)."""
+        self._start = now
+        self.total = 0.0
+        self.events = 0
+
+
+class Histogram:
+    """Fixed-width bin histogram with open-ended tails."""
+
+    def __init__(self, low: float, high: float, bins: int, name: str = "") -> None:
+        if bins < 1 or high <= low:
+            raise ValueError("invalid histogram bounds")
+        self.name = name
+        self.low = low
+        self.high = high
+        self.bins = bins
+        self.counts = [0] * (bins + 2)  # [under, bins..., over]
+        self._width = (high - low) / bins
+
+    def add(self, value: float) -> None:
+        if value < self.low:
+            self.counts[0] += 1
+        elif value >= self.high:
+            self.counts[-1] += 1
+        else:
+            index = 1 + int((value - self.low) / self._width)
+            self.counts[index] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def bin_edges(self) -> List[float]:
+        return [self.low + i * self._width for i in range(self.bins + 1)]
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from bin midpoints (tails clamp to bounds)."""
+        if not 0 <= q <= 1:
+            raise ValueError("q outside [0, 1]")
+        total = self.total
+        if total == 0:
+            return math.nan
+        target = q * total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target:
+                if index == 0:
+                    return self.low
+                if index == len(self.counts) - 1:
+                    return self.high
+                return self.low + (index - 0.5) * self._width
+        return self.high
+
+
+def batch_means_ci(
+    samples: Sequence[float], batches: int = 10, z: float = 1.96
+) -> Dict[str, float]:
+    """Batch-means confidence interval for a (possibly correlated) series.
+
+    Splits ``samples`` into ``batches`` contiguous batches and treats batch
+    means as approximately independent — the standard steady-state DES
+    output-analysis technique.
+    """
+    n = len(samples)
+    if n == 0:
+        return {"mean": math.nan, "half_width": math.nan, "batches": 0}
+    batches = max(1, min(batches, n))
+    size = n // batches
+    if size == 0:
+        batches, size = n, 1
+    means = []
+    for b in range(batches):
+        chunk = samples[b * size : (b + 1) * size]
+        means.append(sum(chunk) / len(chunk))
+    grand = sum(means) / len(means)
+    if len(means) < 2:
+        return {"mean": grand, "half_width": math.nan, "batches": len(means)}
+    var = sum((m - grand) ** 2 for m in means) / (len(means) - 1)
+    half = z * math.sqrt(var / len(means))
+    return {"mean": grand, "half_width": half, "batches": len(means)}

@@ -1,0 +1,88 @@
+"""Named, reproducible random streams.
+
+Every stochastic component draws from its own named substream so that
+changing one traffic source does not perturb the sample path of another —
+the standard variance-reduction / reproducibility discipline for DES studies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Dict, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Stream:
+    """A single reproducible random stream with the distributions we need."""
+
+    def __init__(self, seed: int) -> None:
+        self._rng = random.Random(seed)
+
+    def exponential(self, mean: float) -> float:
+        """Exponential inter-arrival time with the given mean (Poisson process)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return self._rng.expovariate(1.0 / mean)
+
+    def geometric(self, mean: float, minimum: int = 1) -> int:
+        """Geometric variate with the given mean, support {minimum, minimum+1, ...}.
+
+        The paper's worm lengths are geometrically distributed with mean
+        400 bytes; ``minimum`` accounts for the non-zero header.
+        """
+        if mean <= minimum:
+            raise ValueError(f"mean ({mean}) must exceed minimum ({minimum})")
+        # Shifted geometric: X = minimum + G where G >= 0, E[G] = mean - minimum.
+        p = 1.0 / (mean - minimum + 1.0)
+        u = self._rng.random()
+        g = int(math.floor(math.log(1.0 - u) / math.log(1.0 - p)))
+        return minimum + g
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return self._rng.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def bernoulli(self, p: float) -> bool:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability outside [0,1]: {p}")
+        return self._rng.random() < p
+
+
+class RandomStreams:
+    """Factory of named :class:`Stream` substreams derived from a master seed."""
+
+    def __init__(self, seed: int = 1) -> None:
+        self.seed = seed
+        self._streams: Dict[str, Stream] = {}
+
+    def stream(self, name: str) -> Stream:
+        """The stream for ``name``, created deterministically on first use."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        digest = hashlib.sha256(f"{self.seed}/{name}".encode()).digest()
+        substream_seed = int.from_bytes(digest[:8], "big")
+        stream = Stream(substream_seed)
+        self._streams[name] = stream
+        return stream
+
+    def __getitem__(self, name: str) -> Stream:
+        return self.stream(name)

@@ -1,0 +1,22 @@
+"""Workload generation and the paper's experiment configurations."""
+
+from repro.traffic.generators import TrafficConfig, TrafficGenerator
+from repro.traffic.workloads import (
+    ExperimentResult,
+    SchemeSetup,
+    build_engine,
+    run_load_point,
+    fig10_setup,
+    fig11_setup,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "SchemeSetup",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "build_engine",
+    "fig10_setup",
+    "fig11_setup",
+    "run_load_point",
+]

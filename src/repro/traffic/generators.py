@@ -1,0 +1,123 @@
+"""Poisson worm sources (Section 7's traffic model).
+
+Each host generates worms by a Poisson process with geometrically
+distributed lengths (mean 400 bytes in the paper).  The *offered load* is
+the output-link utilization per host, so the mean inter-arrival time is
+``mean_length / offered_load`` byte-times.  A host that belongs to at least
+one multicast group turns each new worm into a multicast with probability
+``multicast_fraction``, choosing the group uniformly among its memberships;
+all other worms are unicasts to uniformly chosen destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.adapters import MulticastEngine
+from repro.net.worm import MAX_WORM_BYTES
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class TrafficConfig:
+    """Per-host Poisson traffic parameters.
+
+    Attributes
+    ----------
+    offered_load:
+        Output-link utilization per host (the x axis of Figures 10/11).
+    mean_length:
+        Mean worm length in bytes (geometric; the paper uses 400).
+    min_length:
+        Smallest worm (header floor) in bytes.
+    multicast_fraction:
+        Probability that a group member's new worm is a multicast
+        (the paper's 'proportion of generated multicast worms').
+    """
+
+    offered_load: float = 0.05
+    mean_length: float = 400.0
+    min_length: int = 16
+    multicast_fraction: float = 0.1
+    #: Worms are capped here; with finite adapter buffers set this at (or
+    #: below) the buffer size -- the paper's Section 4 notes oversized
+    #: messages must be split by the originating host.
+    max_length: int = MAX_WORM_BYTES
+
+    def __post_init__(self) -> None:
+        if not 0 < self.offered_load <= 1:
+            raise ValueError(f"offered load {self.offered_load} outside (0, 1]")
+        if self.mean_length <= self.min_length:
+            raise ValueError("mean_length must exceed min_length")
+        if not 0 <= self.multicast_fraction <= 1:
+            raise ValueError("multicast_fraction outside [0, 1]")
+        if self.max_length < self.mean_length:
+            raise ValueError("max_length must be at least the mean length")
+        if self.max_length > MAX_WORM_BYTES:
+            raise ValueError(f"max_length exceeds Myrinet max {MAX_WORM_BYTES}")
+
+    @property
+    def mean_interarrival(self) -> float:
+        """Mean time between worm generations at one host, byte-times."""
+        return self.mean_length / self.offered_load
+
+
+class TrafficGenerator:
+    """Runs one Poisson source process per host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: MulticastEngine,
+        config: TrafficConfig,
+        rng: Optional[RandomStreams] = None,
+        hosts: Optional[List[int]] = None,
+    ) -> None:
+        self.sim = sim
+        self.engine = engine
+        self.config = config
+        self.rng = rng or engine.rng
+        self.hosts = list(hosts) if hosts is not None else engine.net.topology.hosts
+        self.generated_worms = 0
+        self.generated_multicasts = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Launch all per-host source processes (idempotent)."""
+        if self._started:
+            raise RuntimeError("traffic generator already started")
+        self._started = True
+        for host in self.hosts:
+            self.sim.process(self._source(host), name=f"traffic-h{host}")
+
+    def _source(self, host: int):
+        config = self.config
+        arrivals = self.rng.stream(f"traffic.arrivals.h{host}")
+        lengths = self.rng.stream(f"traffic.lengths.h{host}")
+        choices = self.rng.stream(f"traffic.choices.h{host}")
+        groups = self.engine.groups.groups_of(host)
+        others = [h for h in self.hosts if h != host]
+        if not others:
+            return
+        while True:
+            yield self.sim.timeout(arrivals.exponential(config.mean_interarrival))
+            length = min(
+                lengths.geometric(config.mean_length, minimum=config.min_length),
+                config.max_length,
+            )
+            self.generated_worms += 1
+            if groups and choices.bernoulli(config.multicast_fraction):
+                group = choices.choice(groups)
+                self.generated_multicasts += 1
+                self.engine.multicast(origin=host, gid=group.gid, length=length)
+            else:
+                self.engine.unicast(host, choices.choice(others), length)
+
+    @property
+    def multicast_share(self) -> float:
+        """Observed fraction of generated worms that were multicasts."""
+        if self.generated_worms == 0:
+            return 0.0
+        return self.generated_multicasts / self.generated_worms

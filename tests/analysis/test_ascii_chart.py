@@ -1,0 +1,70 @@
+"""Tests for the terminal chart renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_chart
+
+
+def test_basic_chart_contains_marks_and_legend():
+    text = ascii_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+    assert "o a" in text
+    assert "x b" in text
+    assert "o" in text and "x" in text
+
+
+def test_empty_series():
+    assert ascii_chart({}) == "(no data)"
+    assert ascii_chart({"a": []}) == "(no data)"
+
+
+def test_nan_points_dropped():
+    text = ascii_chart({"a": [(0, 1), (1, math.nan), (2, 3)]})
+    assert "(no data)" not in text
+
+
+def test_single_point():
+    text = ascii_chart({"a": [(5, 7)]})
+    assert "o" in text
+
+
+def test_axis_labels_present():
+    text = ascii_chart(
+        {"a": [(0.04, 1000), (0.12, 9000)]},
+        x_label="offered load",
+        y_label="latency",
+    )
+    assert "offered load" in text
+    assert "latency" in text
+    assert "0.04" in text and "0.12" in text
+
+
+def test_y_extremes_labelled():
+    text = ascii_chart({"a": [(0, 10), (1, 250)]})
+    assert "250" in text
+    assert "10" in text
+
+
+def test_log_scale_requires_positive():
+    with pytest.raises(ValueError):
+        ascii_chart({"a": [(0, 0.0), (1, 10)]}, logy=True)
+
+
+def test_log_scale_renders():
+    text = ascii_chart({"a": [(0, 10), (1, 100), (2, 10000)]}, logy=True)
+    assert "1e+04" in text or "10000" in text
+
+
+def test_monotone_series_rises_left_to_right():
+    """The mark for the max-y point must appear on the top row."""
+    text = ascii_chart({"a": [(0, 0), (1, 5), (2, 10)]}, width=20, height=5)
+    rows = [line for line in text.splitlines() if "|" in line]
+    assert "o" in rows[0]       # top row holds the maximum
+    assert "o" in rows[-1]      # bottom row holds the minimum
+
+
+def test_chart_width_respected():
+    text = ascii_chart({"a": [(0, 0), (1, 1)]}, width=30, height=4)
+    rows = [line for line in text.splitlines() if "|" in line]
+    assert all(len(row.split("|", 1)[1]) <= 30 for row in rows)

@@ -1,0 +1,50 @@
+"""Tests for JSON result persistence."""
+
+import pytest
+
+from repro.analysis import load_meta, load_results, save_results
+from repro.traffic.workloads import ExperimentResult
+
+
+def _result(scheme="tree-sf", load=0.05, latency=1234.5):
+    return ExperimentResult(
+        scheme=scheme,
+        offered_load=load,
+        multicast_fraction=0.1,
+        mean_multicast_latency=latency,
+        ci_half_width=10.0,
+        mean_completion_latency=2345.6,
+        mean_unicast_latency=456.7,
+        deliveries=1000,
+        messages_completed=100,
+        throughput_bytes_per_bytetime=1.5,
+        mean_channel_utilization=0.12,
+        sim_time=1e6,
+        extras={"note": 1.0},
+    )
+
+
+def test_roundtrip(tmp_path):
+    original = [_result(), _result("ham-sf", 0.08, 9000.0)]
+    path = save_results(original, tmp_path / "fig10.json", meta={"seed": 1})
+    loaded = load_results(path)
+    assert loaded == original
+    assert load_meta(path) == {"seed": 1}
+
+
+def test_creates_parent_dirs(tmp_path):
+    path = save_results([_result()], tmp_path / "a" / "b" / "out.json")
+    assert path.exists()
+
+
+def test_empty_results(tmp_path):
+    path = save_results([], tmp_path / "empty.json")
+    assert load_results(path) == []
+    assert load_meta(path) == {}
+
+
+def test_unknown_fields_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"meta": {}, "results": [{"bogus": 1}]}')
+    with pytest.raises(ValueError):
+        load_results(path)

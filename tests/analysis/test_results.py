@@ -1,0 +1,90 @@
+"""Tests for result formatting and curve analysis."""
+
+import pytest
+
+from repro.analysis import crossover_point, format_results_table, format_table
+from repro.traffic.workloads import ExperimentResult
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+def test_format_table_row_width_checked():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])
+
+
+def test_format_results_table():
+    result = ExperimentResult(
+        scheme="tree-sf",
+        offered_load=0.05,
+        multicast_fraction=0.1,
+        mean_multicast_latency=1234.5,
+        ci_half_width=10.0,
+        mean_completion_latency=2345.6,
+        mean_unicast_latency=456.7,
+        deliveries=1000,
+        messages_completed=100,
+        throughput_bytes_per_bytetime=1.5,
+        mean_channel_utilization=0.12,
+        sim_time=1e6,
+    )
+    text = format_results_table([result])
+    assert "tree-sf" in text
+    assert "0.05" in text
+    assert "1234" in text  # latency rendered without decimals
+
+
+def test_crossover_detected():
+    a = [(1, 10.0), (2, 20.0), (3, 40.0)]
+    b = [(1, 15.0), (2, 18.0), (3, 20.0)]
+    x = crossover_point(a, b)
+    assert x is not None
+    # diffs are -5 at x=1 and +2 at x=2: the crossing interpolates between
+    assert 1 < x < 2
+
+
+def test_crossover_interpolation_exact():
+    a = [(0, 0.0), (1, 2.0)]
+    b = [(0, 1.0), (1, 1.0)]
+    assert crossover_point(a, b) == pytest.approx(0.5)
+
+
+def test_no_crossover_returns_none():
+    a = [(1, 1.0), (2, 2.0)]
+    b = [(1, 5.0), (2, 6.0)]
+    assert crossover_point(a, b) is None
+
+
+def test_crossover_requires_common_domain():
+    assert crossover_point([(1, 1.0)], [(2, 2.0)]) is None
+
+
+def test_series_by_scheme_sorted():
+    from repro.analysis import series_by_scheme
+
+    def result(scheme, load, latency):
+        return ExperimentResult(
+            scheme=scheme,
+            offered_load=load,
+            multicast_fraction=0.1,
+            mean_multicast_latency=latency,
+            ci_half_width=0.0,
+            mean_completion_latency=0.0,
+            mean_unicast_latency=0.0,
+            deliveries=1,
+            messages_completed=1,
+            throughput_bytes_per_bytetime=0.0,
+            mean_channel_utilization=0.0,
+            sim_time=1.0,
+        )
+
+    series = series_by_scheme(
+        [result("a", 0.08, 2.0), result("a", 0.04, 1.0), result("b", 0.04, 3.0)]
+    )
+    assert series["a"] == [(0.04, 1.0), (0.08, 2.0)]
+    assert list(series) == ["a", "b"]

@@ -1,0 +1,483 @@
+"""Behavioural tests for the host-adapter multicast engine (Sections 4-6)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AcceptancePolicy,
+    AdapterConfig,
+    MulticastEngine,
+    Scheme,
+)
+from repro.net import Topology, WormholeNetwork, line, torus
+from repro.sim import Simulator
+
+
+def _engine(config=None, topo=None, **net_kwargs):
+    sim = Simulator()
+    topo = topo or torus(4, 4)
+    net = WormholeNetwork(sim, topo, **net_kwargs)
+    engine = MulticastEngine(sim, net, config)
+    return sim, topo, net, engine
+
+
+# ---------------------------------------------------------------------------
+# Basic delivery
+# ---------------------------------------------------------------------------
+
+
+def test_hamiltonian_delivers_to_all_members():
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:6]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=members[2], gid=1, length=400)
+    sim.run()
+    assert message.complete
+    assert set(message.deliveries) == set(members) - {members[2]}
+
+
+def test_tree_delivers_to_all_members():
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:7]
+    engine.create_group(1, members, Scheme.TREE)
+    message = engine.multicast(origin=members[3], gid=1, length=400)
+    sim.run()
+    assert message.complete
+    assert set(message.deliveries) == set(members) - {members[3]}
+
+
+def test_tree_broadcast_delivers_to_all_members():
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:7]
+    engine.create_group(1, members, Scheme.TREE_BROADCAST)
+    message = engine.multicast(origin=members[4], gid=1, length=400)
+    sim.run()
+    assert message.complete
+    assert set(message.deliveries) == set(members) - {members[4]}
+
+
+def test_multicast_from_every_origin():
+    for scheme in Scheme:
+        sim, topo, net, engine = _engine()
+        members = topo.hosts[:5]
+        engine.create_group(1, members, scheme)
+        messages = [
+            engine.multicast(origin=m, gid=1, length=100) for m in members
+        ]
+        sim.run()
+        assert all(m.complete for m in messages), scheme
+
+
+def test_non_member_origin_rejected():
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    with pytest.raises(ValueError):
+        engine.multicast(origin=topo.hosts[10], gid=1, length=100)
+
+
+def test_unknown_group_rejected():
+    sim, topo, net, engine = _engine()
+    with pytest.raises(KeyError):
+        engine.multicast(origin=topo.hosts[0], gid=9, length=100)
+
+
+def test_unicast_delivery_and_latency():
+    sim, topo, net, engine = _engine()
+    engine.unicast(topo.hosts[0], topo.hosts[5], 400)
+    sim.run()
+    assert engine.unicasts_delivered == 1
+    assert engine.unicast_latency.count == 1
+    assert engine.unicast_latency.mean > 400
+
+
+def test_unicast_to_self_rejected():
+    sim, topo, net, engine = _engine()
+    with pytest.raises(ValueError):
+        engine.unicast(topo.hosts[0], topo.hosts[0], 100)
+
+
+def test_delivery_latency_statistics():
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    engine.multicast(origin=members[0], gid=1, length=400)
+    sim.run()
+    assert engine.delivery_latency.count == 4     # one per destination
+    assert engine.completion_latency.count == 1   # one per message
+    assert engine.delivery_latency.mean > 0
+
+
+def test_reset_stats():
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    engine.multicast(origin=members[0], gid=1, length=400)
+    sim.run()
+    engine.reset_stats()
+    assert engine.delivery_latency.count == 0
+    assert engine.messages_sent == 0
+
+
+# ---------------------------------------------------------------------------
+# Hamiltonian specifics (Section 5)
+# ---------------------------------------------------------------------------
+
+
+def test_hamiltonian_sequential_reception_order():
+    """On an idle network, circuit members receive in circuit order."""
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=members[1], gid=1, length=400)
+    sim.run()
+    walk = [members[2], members[3], members[4], members[0]]
+    times = [message.deliveries[m] for m in walk]
+    assert times == sorted(times)
+
+
+def test_hamiltonian_worm_stops_at_predecessor():
+    """Without confirm_return the originator gets no copy back."""
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=members[1], gid=1, length=400)
+    sim.run()
+    assert message.confirmed_at is None
+
+
+def test_hamiltonian_confirm_return():
+    """Section 5: retransmitting until the worm returns to its originator
+    provides confirmation of successful multicast."""
+    sim, topo, net, engine = _engine(AdapterConfig(confirm_return=True))
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=members[1], gid=1, length=400)
+    sim.run()
+    assert message.complete
+    assert message.confirmed_at is not None
+    assert message.confirmed_at >= message.completed_at
+
+
+def test_hamiltonian_wrapped_flag_set_after_reversal():
+    """The worm switches to buffer class 2 on the highest->lowest edge."""
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    seen = {}
+
+    def observer(host, worm, message, when):
+        seen[host] = worm.wrapped
+
+    engine.delivery_observer = observer
+    engine.multicast(origin=members[2], gid=1, length=100)
+    sim.run()
+    assert seen[members[3]] is False   # before the reversal
+    assert seen[members[0]] is True    # after highest -> lowest
+    assert seen[members[1]] is True
+
+
+def test_cut_through_faster_on_idle_network():
+    """Section 5/7: at light load cut-through beats store-and-forward."""
+    results = {}
+    for label, config in (
+        ("sf", AdapterConfig(cut_through=False)),
+        ("ct", AdapterConfig(cut_through=True)),
+    ):
+        sim, topo, net, engine = _engine(config)
+        members = topo.hosts[:6]
+        engine.create_group(1, members, Scheme.HAMILTONIAN)
+        message = engine.multicast(origin=members[0], gid=1, length=2000)
+        sim.run()
+        results[label] = message.completion_latency()
+    assert results["ct"] < results["sf"]
+
+
+def test_store_and_forward_latency_accumulates_worm_length():
+    """S&F reassembles at each member: total latency grows by ~length per
+    member, the scaling the paper's Section 1 criticizes."""
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    length = 1000
+    message = engine.multicast(origin=members[0], gid=1, length=length)
+    sim.run()
+    # 4 sequential hops, each at least `length` long
+    assert message.completion_latency() >= 4 * length
+
+
+# ---------------------------------------------------------------------------
+# Tree specifics (Section 6)
+# ---------------------------------------------------------------------------
+
+
+def test_tree_nonroot_origin_relays_to_root():
+    """The multicast must start from the root (Section 6)."""
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:7]
+    engine.create_group(1, members, Scheme.TREE)
+    message = engine.multicast(origin=members[5], gid=1, length=400)
+    sim.run()
+    root = members[0]
+    # the root is delivered first (it relays onwards)
+    assert message.deliveries[root] == min(message.deliveries.values())
+
+
+def test_tree_parallelism_beats_chain_for_large_groups():
+    """At equal (idle) load, the tree's depth ~log(n) beats the circuit's
+    n sequential reassemblies for store-and-forward operation."""
+    results = {}
+    for scheme in (Scheme.HAMILTONIAN, Scheme.TREE):
+        sim, topo, net, engine = _engine()
+        members = topo.hosts[:10]
+        engine.create_group(1, members, scheme)
+        message = engine.multicast(origin=members[0], gid=1, length=2000)
+        sim.run()
+        results[scheme] = message.completion_latency()
+    assert results[Scheme.TREE] < results[Scheme.HAMILTONIAN]
+
+
+def test_tree_broadcast_skips_root_relay():
+    """Broadcast-on-tree floods from the originator: lower latency than
+    root-start for a non-root origin (Section 6's stated advantage), here
+    measured from a depth-1 origin whose subtree overlaps with the relay."""
+    results = {}
+    for scheme in (Scheme.TREE, Scheme.TREE_BROADCAST):
+        sim, topo, net, engine = _engine()
+        members = topo.hosts[:9]
+        engine.create_group(1, members, scheme)
+        message = engine.multicast(origin=members[1], gid=1, length=1000)
+        sim.run()
+        results[scheme] = message.completion_latency()
+    assert results[Scheme.TREE_BROADCAST] < results[Scheme.TREE]
+
+
+def test_tree_broadcast_phases():
+    """Climbing worms ride class 1, descending worms class 2."""
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:7]
+    engine.create_group(1, members, Scheme.TREE_BROADCAST)
+    phases = {}
+
+    def observer(host, worm, message, when):
+        phases[host] = (worm.phase, worm.wrapped)
+
+    engine.delivery_observer = observer
+    engine.multicast(origin=members[6], gid=1, length=100)  # a leaf
+    sim.run()
+    # the root must have been reached by climbing
+    assert phases[members[0]][0] == "climb"
+    assert phases[members[0]][1] is False
+    # some other member was reached descending with class 2
+    assert any(p == ("descend", True) for p in phases.values())
+
+
+# ---------------------------------------------------------------------------
+# Implicit buffer reservation (Section 4, Figure 5)
+# ---------------------------------------------------------------------------
+
+
+def test_nack_and_retry_on_full_buffer():
+    """A full adapter drops the worm (NACK) and the sender retransmits
+    after a timeout -- eventually succeeding (Figure 5)."""
+    config = AdapterConfig(
+        acceptance=AcceptancePolicy.NACK,
+        buffer_bytes=450.0,
+        retry_timeout=500.0,
+    )
+    sim, topo, net, engine = _engine(config)
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    m1 = engine.multicast(origin=members[0], gid=1, length=400)
+    m2 = engine.multicast(origin=members[1], gid=1, length=400)
+    sim.run()
+    assert m1.complete and m2.complete
+    assert engine.nacks > 0
+    assert engine.retries == engine.nacks
+
+
+def test_nack_with_modelled_ack_worms():
+    """With model_acks the ACK/NACK travel as real control worms."""
+    config = AdapterConfig(
+        acceptance=AcceptancePolicy.NACK,
+        buffer_bytes=450.0,
+        retry_timeout=500.0,
+        model_acks=True,
+    )
+    sim, topo, net, engine = _engine(config)
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    m1 = engine.multicast(origin=members[0], gid=1, length=400)
+    m2 = engine.multicast(origin=members[2], gid=1, length=400)
+    sim.run()
+    assert m1.complete and m2.complete
+
+
+def test_oversized_worm_never_accepted_raises():
+    """A worm larger than any buffer exhausts its retries."""
+    config = AdapterConfig(
+        acceptance=AcceptancePolicy.NACK,
+        buffer_bytes=100.0,
+        retry_timeout=10.0,
+        max_retries=3,
+    )
+    sim, topo, net, engine = _engine(config)
+    members = topo.hosts[:3]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    engine.multicast(origin=members[0], gid=1, length=400)
+    from repro.core.adapters import ProtocolError
+
+    with pytest.raises(ProtocolError):
+        sim.run()
+
+
+def test_wait_policy_requires_finite_buffers():
+    with pytest.raises(ValueError):
+        _engine(AdapterConfig(acceptance=AcceptancePolicy.WAIT))
+
+
+def test_wait_policy_delivers_under_contention():
+    config = AdapterConfig(
+        acceptance=AcceptancePolicy.WAIT,
+        buffer_bytes=500.0,
+        use_buffer_classes=True,
+    )
+    sim, topo, net, engine = _engine(config)
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    messages = [engine.multicast(origin=m, gid=1, length=400) for m in members]
+    sim.run()
+    assert all(m.complete for m in messages)
+
+
+def test_dma_extension_accepts_oversized_load():
+    """[VLB96]'s host-DMA overflow lets worms exceed the SRAM pool."""
+    config = AdapterConfig(
+        acceptance=AcceptancePolicy.NACK,
+        buffer_bytes=300.0,
+        dma_extension_bytes=2000.0,
+        retry_timeout=100.0,
+    )
+    sim, topo, net, engine = _engine(config)
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=members[0], gid=1, length=800)
+    sim.run()
+    assert message.complete
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 / path deadlock reasoning
+# ---------------------------------------------------------------------------
+
+
+def test_fig4_full_worm_buffering_precondition():
+    """Section 4: an adapter accepts a worm only when it can buffer it in
+    full, so a blocked forward never wedges the network (path deadlock of
+    Figure 4).  With per-class buffers of exactly one worm, a second
+    arriving worm is NACKed rather than backpressured."""
+    config = AdapterConfig(
+        acceptance=AcceptancePolicy.NACK,
+        buffer_bytes=400.0,
+        retry_timeout=300.0,
+    )
+    sim, topo, net, engine = _engine(config, topo=line(4))
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    first = engine.multicast(origin=members[0], gid=1, length=400)
+    second = engine.multicast(origin=members[1], gid=1, length=400)
+    sim.run()
+    assert first.complete and second.complete
+    # the network itself never wedged: all channels free at the end
+    assert all(not ch.busy for ch in net.channels)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 / 7: buffer deadlock and the two-buffer-class cure
+# ---------------------------------------------------------------------------
+
+
+def _fig6_run(use_classes):
+    """Two messages crossing in opposite directions on a two-member group,
+    WAIT acceptance, one-worm buffers: the Figure 6 scenario."""
+    sim = Simulator()
+    topo = line(2)
+    net = WormholeNetwork(sim, topo)
+    hosts = topo.hosts
+    config = AdapterConfig(
+        acceptance=AcceptancePolicy.WAIT,
+        buffer_bytes=400.0,
+        use_buffer_classes=use_classes,
+    )
+    engine = MulticastEngine(sim, net, config)
+    engine.create_group(1, hosts, Scheme.HAMILTONIAN)
+    x = engine.multicast(origin=hosts[0], gid=1, length=400)  # ascending leg
+    y = engine.multicast(origin=hosts[1], gid=1, length=400)  # the wrap edge
+    sim.run(until=500_000)
+    return x, y
+
+
+def test_fig6_buffer_deadlock_without_classes():
+    """X holds A's pool and waits for B; Y holds B's pool and waits for A:
+    with a single shared pool the waits cycle and neither completes."""
+    x, y = _fig6_run(use_classes=False)
+    assert not (x.complete and y.complete)
+
+
+def test_fig7_two_buffer_classes_prevent_deadlock():
+    """With the wrap edge riding class 2, the requests point to a higher
+    host ID or a higher class -- no cycle, both messages complete."""
+    x, y = _fig6_run(use_classes=True)
+    assert x.complete and y.complete
+
+
+# ---------------------------------------------------------------------------
+# Message records
+# ---------------------------------------------------------------------------
+
+
+def test_completion_latency_requires_completion():
+    sim, topo, net, engine = _engine()
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=members[0], gid=1, length=400)
+    with pytest.raises(RuntimeError):
+        message.completion_latency()
+    sim.run()
+    assert message.completion_latency() > 0
+
+
+def test_duplicate_delivery_counted_once():
+    sim, topo, net, engine = _engine(AdapterConfig(confirm_return=True))
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=members[0], gid=1, length=400)
+    sim.run()
+    assert len(message.deliveries) == 3
+    assert engine.delivery_latency.count == 3
+
+
+def test_multiple_groups_independent():
+    sim, topo, net, engine = _engine()
+    engine.create_group(1, topo.hosts[:5], Scheme.HAMILTONIAN)
+    engine.create_group(2, topo.hosts[5:12], Scheme.TREE)
+    m1 = engine.multicast(origin=topo.hosts[0], gid=1, length=200)
+    m2 = engine.multicast(origin=topo.hosts[6], gid=2, length=200)
+    sim.run()
+    assert m1.complete and m2.complete
+    assert set(m1.deliveries).isdisjoint(set(m2.deliveries))
+
+
+def test_copy_latency_applied():
+    fast_cfg = AdapterConfig(copy_latency=0.0)
+    slow_cfg = AdapterConfig(copy_latency=50.0)
+    latencies = {}
+    for label, config in (("fast", fast_cfg), ("slow", slow_cfg)):
+        sim, topo, net, engine = _engine(config)
+        members = topo.hosts[:4]
+        engine.create_group(1, members, Scheme.HAMILTONIAN)
+        message = engine.multicast(origin=members[0], gid=1, length=400)
+        sim.run()
+        latencies[label] = message.completion_latency()
+    assert latencies["slow"] > latencies["fast"]

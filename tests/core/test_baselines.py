@@ -1,0 +1,137 @@
+"""Tests for repeated-unicast baseline and broadcast support."""
+
+import pytest
+
+from repro.core import (
+    AdapterConfig,
+    BROADCAST_GROUP_ID,
+    MulticastEngine,
+    Scheme,
+)
+from repro.net import WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+def _engine(config=None):
+    sim = Simulator()
+    topo = torus(4, 4)
+    net = WormholeNetwork(sim, topo)
+    return sim, topo, MulticastEngine(sim, net, config)
+
+
+# ---------------------------------------------------------------------------
+# Repeated unicast (the Section 1 baseline)
+# ---------------------------------------------------------------------------
+
+
+def test_repeated_unicast_delivers_to_all():
+    sim, topo, engine = _engine()
+    members = topo.hosts[:6]
+    engine.create_group(1, members, Scheme.REPEATED_UNICAST)
+    message = engine.multicast(origin=members[2], gid=1, length=400)
+    sim.run()
+    assert message.complete
+    assert set(message.deliveries) == set(members) - {members[2]}
+
+
+def test_repeated_unicast_source_interface_tied_up():
+    """Section 1: 'the source interface is tied up during the entire
+    multicast session, leading to large latencies' -- completion scales
+    linearly in the group size because every copy leaves the same port."""
+    latencies = {}
+    for count in (4, 8, 12):
+        sim, topo, engine = _engine()
+        members = topo.hosts[:count]
+        engine.create_group(1, members, Scheme.REPEATED_UNICAST)
+        message = engine.multicast(origin=members[0], gid=1, length=1000)
+        sim.run()
+        latencies[count] = message.completion_latency()
+    # roughly linear growth: 12 members ≈ 3x the 4-member latency
+    assert latencies[12] > 2.2 * latencies[4]
+    assert latencies[8] > 1.4 * latencies[4]
+
+
+def test_repeated_unicast_slower_than_tree_for_large_groups():
+    """The scalability argument for the paper's schemes."""
+    latencies = {}
+    for scheme in (Scheme.REPEATED_UNICAST, Scheme.TREE_BROADCAST):
+        sim, topo, engine = _engine()
+        members = topo.hosts[:12]
+        engine.create_group(1, members, scheme)
+        message = engine.multicast(origin=members[0], gid=1, length=1000)
+        sim.run()
+        latencies[scheme] = message.completion_latency()
+    assert latencies[Scheme.TREE_BROADCAST] < latencies[Scheme.REPEATED_UNICAST]
+
+
+def test_repeated_unicast_rejects_total_ordering():
+    """Section 1: 'total ordering cannot be enforced' with multicopy
+    unicasting."""
+    sim, topo, engine = _engine(AdapterConfig(total_ordering=True))
+    with pytest.raises(ValueError):
+        engine.create_group(1, topo.hosts[:4], Scheme.REPEATED_UNICAST)
+
+
+def test_repeated_unicast_rejects_structure_options():
+    sim, topo, engine = _engine()
+    with pytest.raises(ValueError):
+        engine.create_group(
+            1, topo.hosts[:4], Scheme.REPEATED_UNICAST, branching=2
+        )
+
+
+def test_repeated_unicast_receivers_do_not_forward():
+    """Every delivery must come directly from the origin."""
+    sim, topo, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.REPEATED_UNICAST)
+    sources = []
+
+    def observer(host, worm, message, when):
+        sources.append(worm.source)
+
+    engine.delivery_observer = observer
+    engine.multicast(origin=members[0], gid=1, length=200)
+    sim.run()
+    assert set(sources) == {members[0]}
+
+
+# ---------------------------------------------------------------------------
+# Broadcast (group 255)
+# ---------------------------------------------------------------------------
+
+
+def test_broadcast_group_spans_all_hosts():
+    sim, topo, engine = _engine()
+    state = engine.create_broadcast_group(Scheme.HAMILTONIAN)
+    assert state.gid == BROADCAST_GROUP_ID
+    assert state.group.members == topo.hosts
+
+
+def test_broadcast_delivers_everywhere():
+    sim, topo, engine = _engine()
+    engine.create_broadcast_group(Scheme.TREE_BROADCAST)
+    origin = topo.hosts[7]
+    message = engine.broadcast(origin=origin, length=400)
+    sim.run()
+    assert message.complete
+    assert set(message.deliveries) == set(topo.hosts) - {origin}
+
+
+def test_broadcast_requires_group_creation():
+    sim, topo, engine = _engine()
+    with pytest.raises(KeyError):
+        engine.broadcast(origin=topo.hosts[0], length=100)
+
+
+def test_broadcast_group_registered_once():
+    sim, topo, engine = _engine()
+    engine.create_broadcast_group()
+    with pytest.raises(ValueError):
+        engine.create_broadcast_group()
+
+
+def test_normal_groups_cannot_take_broadcast_id():
+    sim, topo, engine = _engine()
+    with pytest.raises(ValueError):
+        engine.create_group(BROADCAST_GROUP_ID, topo.hosts[:4])

@@ -1,0 +1,113 @@
+"""Tests for the two-buffer-class pools (Section 4, Figure 7)."""
+
+import math
+
+import pytest
+
+from repro.core import BufferClasses
+from repro.sim import Simulator
+
+
+def test_unbounded_pool_always_claims():
+    sim = Simulator()
+    buffers = BufferClasses(sim)
+    claim = buffers.try_claim(10**6, wrapped=False)
+    assert claim is not None
+    claim.release()
+
+
+def test_claims_consume_capacity():
+    sim = Simulator()
+    buffers = BufferClasses(sim, class_bytes=1000)
+    first = buffers.try_claim(600, wrapped=False)
+    assert first is not None
+    assert buffers.try_claim(600, wrapped=False) is None
+    first.release()
+    assert buffers.try_claim(600, wrapped=False) is not None
+
+
+def test_classes_are_independent_pools():
+    """A full class 1 must not block class 2 -- the essence of Figure 7."""
+    sim = Simulator()
+    buffers = BufferClasses(sim, class_bytes=1000, use_classes=True)
+    assert buffers.try_claim(1000, wrapped=False) is not None
+    assert buffers.try_claim(1000, wrapped=True) is not None
+    assert buffers.try_claim(1, wrapped=False) is None
+    assert buffers.try_claim(1, wrapped=True) is None
+
+
+def test_single_pool_when_classes_disabled():
+    sim = Simulator()
+    buffers = BufferClasses(sim, class_bytes=1000, use_classes=False)
+    assert buffers.try_claim(1000, wrapped=False) is not None
+    assert buffers.try_claim(1, wrapped=True) is None  # same pool
+
+
+def test_dma_extension_spill():
+    sim = Simulator()
+    buffers = BufferClasses(sim, class_bytes=500, dma_extension_bytes=2000)
+    a = buffers.try_claim(500, wrapped=False)   # fills SRAM class 1
+    b = buffers.try_claim(400, wrapped=False)   # spills to DMA
+    assert a is not None and b is not None
+    assert b.spilled == 400
+    assert buffers.free_bytes(wrapped=False) == 1600
+    b.release()
+    assert buffers.free_bytes(wrapped=False) == 2000
+
+
+def test_dma_extension_shared_between_classes():
+    sim = Simulator()
+    buffers = BufferClasses(sim, class_bytes=100, dma_extension_bytes=300)
+    buffers.try_claim(100, wrapped=False)
+    buffers.try_claim(100, wrapped=True)
+    spill1 = buffers.try_claim(200, wrapped=False)
+    assert spill1 is not None and spill1.spilled == 200
+    assert buffers.try_claim(200, wrapped=True) is None  # DMA has 100 left
+    assert buffers.try_claim(100, wrapped=True).spilled == 100
+
+
+def test_double_release_rejected():
+    sim = Simulator()
+    buffers = BufferClasses(sim, class_bytes=1000)
+    claim = buffers.try_claim(100, wrapped=False)
+    claim.release()
+    with pytest.raises(RuntimeError):
+        claim.release()
+
+
+def test_blocking_claim_waits_for_release():
+    sim = Simulator()
+    buffers = BufferClasses(sim, class_bytes=1000)
+    first = buffers.try_claim(900, wrapped=False)
+
+    def waiter():
+        yield buffers.claim_blocking(500, wrapped=False)
+        return sim.now
+
+    def releaser():
+        yield sim.timeout(10)
+        first.release()
+
+    w = sim.process(waiter())
+    sim.process(releaser())
+    sim.run()
+    assert w.value == 10.0
+
+
+def test_blocking_claim_on_unbounded_rejected():
+    sim = Simulator()
+    buffers = BufferClasses(sim)
+    with pytest.raises(RuntimeError):
+        buffers.claim_blocking(10, wrapped=False)
+
+
+def test_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BufferClasses(sim, class_bytes=0)
+
+
+def test_free_bytes_unbounded():
+    sim = Simulator()
+    buffers = BufferClasses(sim)
+    assert math.isinf(buffers.free_bytes(wrapped=False))

@@ -1,0 +1,138 @@
+"""Tests for large-message fragmentation (Section 4)."""
+
+import pytest
+
+from repro.core import AdapterConfig, MulticastEngine, Scheme
+from repro.core.fragmentation import (
+    fragment_sizes,
+    multicast_fragmented,
+)
+from repro.net import WormholeNetwork, torus
+from repro.net.worm import MAX_WORM_BYTES
+from repro.sim import Simulator
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _engine(config=None):
+    sim = Simulator()
+    topo = torus(4, 4)
+    net = WormholeNetwork(sim, topo)
+    return sim, topo, MulticastEngine(sim, net, config)
+
+
+def test_fragment_sizes_exact_split():
+    assert fragment_sizes(10_000, 4_000) == [4_000, 4_000, 2_000]
+    assert fragment_sizes(4_000, 4_000) == [4_000]
+    assert fragment_sizes(100, 4_000) == [100]
+
+
+def test_fragment_sizes_validation():
+    with pytest.raises(ValueError):
+        fragment_sizes(0, 100)
+    with pytest.raises(ValueError):
+        fragment_sizes(100, 0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    total=st.integers(min_value=1, max_value=10**6),
+    chunk=st.integers(min_value=1, max_value=9000),
+)
+def test_property_fragment_sizes_conserve_bytes(total, chunk):
+    sizes = fragment_sizes(total, chunk)
+    assert sum(sizes) == total
+    assert all(0 < s <= chunk for s in sizes)
+    assert len([s for s in sizes if s < chunk]) <= 1  # only the last short
+
+
+def test_fragmented_multicast_delivers_all():
+    sim, topo, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    record = multicast_fragmented(
+        engine, origin=members[0], gid=1, total_bytes=20_000, fragment_bytes=4_000
+    )
+    sim.run()
+    assert record.fragment_count == 5
+    assert record.complete
+    assert record.completion_latency() > 0
+
+
+def test_fragments_arrive_in_order_on_idle_network():
+    sim, topo, engine = _engine()
+    members = topo.hosts[:5]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    record = multicast_fragmented(
+        engine, origin=members[1], gid=1, total_bytes=10_000, fragment_bytes=2_500
+    )
+    sim.run()
+    assert record.complete
+    for member in members:
+        if member != members[1]:
+            assert record.in_order_at(member)
+
+
+def test_default_fragment_size_from_buffer_budget():
+    config = AdapterConfig(
+        acceptance="nack", buffer_bytes=2_000.0, retry_timeout=500.0
+    )
+    sim, topo, engine = _engine(config)
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    record = multicast_fragmented(
+        engine, origin=members[0], gid=1, total_bytes=7_000
+    )
+    sim.run()
+    assert record.fragment_bytes == 2_000
+    assert record.fragment_count == 4
+    assert record.complete
+
+
+def test_default_fragment_size_unbounded_buffers():
+    sim, topo, engine = _engine()
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    record = multicast_fragmented(
+        engine, origin=members[0], gid=1, total_bytes=20_000
+    )
+    sim.run()
+    assert record.fragment_bytes == MAX_WORM_BYTES
+    assert record.fragment_count == 3
+    assert record.complete
+
+
+def test_fragmentation_works_on_trees():
+    sim, topo, engine = _engine()
+    members = topo.hosts[:7]
+    engine.create_group(1, members, Scheme.TREE_BROADCAST)
+    record = multicast_fragmented(
+        engine, origin=members[3], gid=1, total_bytes=12_000, fragment_bytes=3_000
+    )
+    sim.run()
+    assert record.complete
+
+
+def test_incomplete_latency_raises():
+    sim, topo, engine = _engine()
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    record = multicast_fragmented(
+        engine, origin=members[0], gid=1, total_bytes=5_000, fragment_bytes=1_000
+    )
+    with pytest.raises(RuntimeError):
+        record.completion_latency()
+    sim.run()
+    assert record.complete
+
+
+def test_in_order_false_for_missing_member():
+    sim, topo, engine = _engine()
+    members = topo.hosts[:4]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    record = multicast_fragmented(
+        engine, origin=members[0], gid=1, total_bytes=1_000, fragment_bytes=1_000
+    )
+    assert not record.in_order_at(members[1])  # nothing delivered yet
+    sim.run()
+    assert record.in_order_at(members[1])

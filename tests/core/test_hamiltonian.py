@@ -1,0 +1,151 @@
+"""Tests for Hamiltonian-circuit construction (Section 5, Figure 8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    HamiltonianCircuit,
+    MulticastGroup,
+    circuit_hop_length,
+    host_connectivity_graph,
+)
+from repro.net import UpDownRouting, torus
+from repro.net.topology import Topology
+
+
+def _group(members, gid=1):
+    return MulticastGroup(gid, members)
+
+
+def test_id_order_sequence():
+    circuit = HamiltonianCircuit(_group([30, 10, 20]))
+    assert circuit.sequence == [10, 20, 30]
+
+
+def test_successor_predecessor_wrap():
+    circuit = HamiltonianCircuit(_group([10, 20, 30]))
+    assert circuit.successor(10) == 20
+    assert circuit.successor(30) == 10  # the ID reversal edge
+    assert circuit.predecessor(10) == 30
+    assert circuit.predecessor(20) == 10
+
+
+def test_non_member_rejected():
+    circuit = HamiltonianCircuit(_group([10, 20, 30]))
+    with pytest.raises(ValueError):
+        circuit.successor(99)
+    with pytest.raises(ValueError):
+        circuit.predecessor(99)
+
+
+def test_initial_hop_count():
+    circuit = HamiltonianCircuit(_group([1, 2, 3, 4]))
+    assert circuit.initial_hop_count() == 3           # stop at predecessor
+    assert circuit.initial_hop_count(include_return=True) == 4
+
+
+def test_is_reversal_only_on_wrap_edge():
+    circuit = HamiltonianCircuit(_group([10, 20, 30]))
+    assert not circuit.is_reversal(10, 20)
+    assert not circuit.is_reversal(20, 30)
+    assert circuit.is_reversal(30, 10)
+
+
+def test_reversal_count_id_order_is_one():
+    circuit = HamiltonianCircuit(_group([4, 9, 2, 17, 11]))
+    assert circuit.reversal_count() == 1
+
+
+def test_walk_from_visits_all_others():
+    circuit = HamiltonianCircuit(_group([1, 2, 3, 4, 5]))
+    assert circuit.walk_from(3) == [4, 5, 1, 2]
+    assert circuit.walk_from(1) == [2, 3, 4, 5]
+
+
+def test_walk_from_with_return():
+    circuit = HamiltonianCircuit(_group([1, 2, 3]))
+    assert circuit.walk_from(2, hop_count=3) == [3, 1, 2]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.integers(min_value=0, max_value=500), min_size=2, max_size=20))
+def test_property_id_circuit_single_reversal(member_set):
+    """The paper's deadlock argument: an ID-ordered circuit has exactly one
+    decreasing-ID edge, so one buffer-class switch suffices."""
+    circuit = HamiltonianCircuit(_group(sorted(member_set)))
+    assert circuit.reversal_count() == 1
+    # every host is visited exactly once when walking from any member
+    for origin in circuit.sequence[:3]:
+        visited = circuit.walk_from(origin)
+        assert sorted(visited + [origin]) == circuit.sequence
+
+
+def test_host_connectivity_graph_complete_and_symmetric():
+    topo = torus(3, 3)
+    routing = UpDownRouting(topo)
+    hosts = topo.hosts[:5]
+    weights = host_connectivity_graph(routing, hosts)
+    assert len(weights) == 5 * 4
+    for a in hosts:
+        for b in hosts:
+            if a != b:
+                assert weights[(a, b)] == weights[(b, a)]
+                assert weights[(a, b)] >= 2  # at least host->switch->...->host
+
+
+def test_fig8_transformation():
+    """Figure 8: a network graph induces a complete host graph whose edge
+    weights are unicast hop counts; a circuit's hop length is their sum."""
+    # Hosts A,B,C,D on a small switch fabric.
+    topo = Topology()
+    s0, s1, s2 = (topo.add_switch() for _ in range(3))
+    topo.add_link(s0, s1)
+    topo.add_link(s1, s2)
+    a = topo.add_host(s0, "A")
+    b = topo.add_host(s0, "B")
+    c = topo.add_host(s1, "C")
+    d = topo.add_host(s2, "D")
+    routing = UpDownRouting(topo)
+    weights = host_connectivity_graph(routing, [a, b, c, d])
+    # A and B share a switch: 2 hops; A to D crosses two switch links: 4.
+    assert weights[(a, b)] == 2
+    assert weights[(a, c)] == 3
+    assert weights[(a, d)] == 4
+    circuit = HamiltonianCircuit(_group([a, b, c, d]))
+    total = circuit_hop_length(circuit, routing)
+    assert total == sum(
+        routing.hop_count(h, circuit.successor(h)) for h in circuit.sequence
+    )
+    assert total >= 4 * 2
+
+
+def test_nearest_neighbour_requires_routing():
+    with pytest.raises(ValueError):
+        HamiltonianCircuit(_group([1, 2, 3]), order="nearest")
+
+
+def test_unknown_order_rejected():
+    with pytest.raises(ValueError):
+        HamiltonianCircuit(_group([1, 2, 3]), order="magic")
+
+
+def test_optimized_orders_cover_all_members():
+    topo = torus(4, 4)
+    routing = UpDownRouting(topo)
+    members = topo.hosts[:8]
+    for order in ("nearest", "two_opt"):
+        circuit = HamiltonianCircuit(_group(members), order=order, routing=routing)
+        assert sorted(circuit.sequence) == sorted(members)
+        assert circuit.sequence[0] == min(members)  # canonical rotation
+
+
+def test_two_opt_no_longer_than_id_order():
+    topo = torus(4, 4)
+    routing = UpDownRouting(topo)
+    members = [topo.hosts[i] for i in (0, 5, 10, 15, 3, 12, 7, 9)]
+    id_circuit = HamiltonianCircuit(_group(members))
+    opt_circuit = HamiltonianCircuit(_group(members), order="two_opt", routing=routing)
+    assert circuit_hop_length(opt_circuit, routing) <= circuit_hop_length(
+        id_circuit, routing
+    )

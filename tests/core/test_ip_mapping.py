@@ -1,0 +1,82 @@
+"""Tests for multicast IP interoperation (Section 8.1)."""
+
+import pytest
+
+from repro.core import IpGroupMapper, is_class_d, myrinet_group_of
+
+
+def test_class_d_detection():
+    assert is_class_d("224.0.0.1")
+    assert is_class_d("239.255.255.255")
+    assert not is_class_d("192.168.1.1")
+    assert not is_class_d("10.0.0.1")
+
+
+def test_low_byte_mapping():
+    assert myrinet_group_of("224.0.0.1") == 1
+    assert myrinet_group_of("224.0.1.5") == 5
+    assert myrinet_group_of("239.12.34.200") == 200
+
+
+def test_non_multicast_rejected():
+    with pytest.raises(ValueError):
+        myrinet_group_of("192.168.0.1")
+
+
+def test_nonunique_low_bytes_share_group():
+    """Section 8.1: Myrinet groups must be the union of all IP groups that
+    share the low eight bits."""
+    mapper = IpGroupMapper()
+    assert mapper.join("224.0.1.5", host=3) == 5
+    assert mapper.join("239.9.9.5", host=4) == 5
+    assert mapper.members_of_myrinet_group(5) == [3, 4]
+    assert len(mapper.ip_groups_of(5)) == 2
+
+
+def test_receiver_filtering():
+    """Receivers drop packets for IP groups they did not join even though
+    the Myrinet group delivered them."""
+    mapper = IpGroupMapper()
+    mapper.join("224.0.1.5", host=3)
+    mapper.join("239.9.9.5", host=4)
+    assert mapper.accepts(3, 5, "224.0.1.5")
+    assert not mapper.accepts(3, 5, "239.9.9.5")   # same group, filtered
+    assert mapper.accepts(4, 5, "239.9.9.5")
+    assert not mapper.accepts(4, 5, "224.0.1.5")
+
+
+def test_accepts_wrong_group():
+    mapper = IpGroupMapper()
+    mapper.join("224.0.1.5", host=3)
+    assert not mapper.accepts(3, 6, "224.0.1.5")
+
+
+def test_leave_semantics():
+    mapper = IpGroupMapper()
+    mapper.join("224.0.1.5", host=3)
+    mapper.join("239.9.9.5", host=3)
+    # still needs group 5 for the other IP group
+    assert mapper.leave("224.0.1.5", host=3) is False
+    assert mapper.leave("239.9.9.5", host=3) is True
+    assert mapper.members_of_myrinet_group(5) == []
+
+
+def test_leave_not_joined():
+    mapper = IpGroupMapper()
+    with pytest.raises(KeyError):
+        mapper.leave("224.0.1.5", host=3)
+
+
+def test_broadcast_collision_tracked():
+    """IP groups ending in .255 collide with the Myrinet broadcast id."""
+    mapper = IpGroupMapper()
+    gid = mapper.join("224.0.0.255", host=1)
+    assert gid == 255
+    assert len(mapper.broadcast_collisions) == 1
+
+
+def test_28_bit_space_collapses_to_8():
+    mapper = IpGroupMapper()
+    gids = {mapper.join(f"224.0.{i}.7", host=i) for i in range(10)}
+    assert gids == {7}
+    assert mapper.members_of_myrinet_group(7) == list(range(10))

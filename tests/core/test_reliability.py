@@ -1,0 +1,143 @@
+"""Tests for loss injection and circuit-return reliability (Section 5)."""
+
+import pytest
+
+from repro.core import AdapterConfig, MulticastEngine, Scheme
+from repro.net import Worm, WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+def test_loss_rate_validation():
+    sim = Simulator()
+    topo = torus(3, 3)
+    with pytest.raises(ValueError):
+        WormholeNetwork(sim, topo, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        WormholeNetwork(sim, topo, loss_rate=-0.1)
+
+
+def test_lossy_network_drops_expected_fraction():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo, loss_rate=0.25, loss_seed=7)
+    hosts = topo.hosts
+    n = 400
+    for i in range(n):
+        net.send(Worm(source=hosts[i % 9], dest=hosts[(i + 4) % 9], length=80))
+    sim.run()
+    assert net.dropped_worms + net.delivered_worms == n
+    assert net.dropped_worms / n == pytest.approx(0.25, abs=0.06)
+
+
+def test_dropped_worm_releases_channels():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo, loss_rate=0.5, loss_seed=3)
+    hosts = topo.hosts
+    for i in range(50):
+        net.send(Worm(source=hosts[i % 9], dest=hosts[(i + 2) % 9], length=150))
+    sim.run()
+    assert net.dropped_worms > 0
+    assert all(not ch.busy for ch in net.channels)
+
+
+def test_dropped_worm_never_reaches_receiver():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo, loss_rate=0.4, loss_seed=5)
+    hosts = topo.hosts
+    received = []
+    for h in hosts:
+        net.set_receiver(h, lambda worm, transfer: received.append(worm.wid))
+    transfers = [
+        net.send(Worm(source=hosts[i % 9], dest=hosts[(i + 1) % 9], length=50))
+        for i in range(100)
+    ]
+    sim.run()
+    dropped_wids = {t.worm.wid for t in transfers if t.dropped}
+    assert dropped_wids
+    assert not dropped_wids & set(received)
+
+
+def test_zero_loss_by_default():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    hosts = topo.hosts
+    for i in range(50):
+        net.send(Worm(source=hosts[0], dest=hosts[5], length=50))
+    sim.run()
+    assert net.dropped_worms == 0
+
+
+def _lossy_engine(confirm, loss, timeout=30_000.0, seed=5):
+    sim = Simulator()
+    topo = torus(4, 4)
+    net = WormholeNetwork(sim, topo, loss_rate=loss, loss_seed=seed)
+    config = AdapterConfig(
+        confirm_return=confirm,
+        confirm_timeout=timeout if confirm else None,
+    )
+    engine = MulticastEngine(sim, net, config)
+    members = topo.hosts[:6]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    return sim, engine, members
+
+
+def test_unreliable_multicast_loses_messages_on_lossy_net():
+    """Without the circuit-return confirmation, network loss silently
+    leaves members without the message."""
+    sim, engine, members = _lossy_engine(confirm=False, loss=0.15)
+    messages = [
+        engine.multicast(origin=members[i % 6], gid=1, length=400)
+        for i in range(25)
+    ]
+    sim.run(until=20_000_000)
+    assert not all(m.complete for m in messages)
+
+
+def test_confirm_return_recovers_all_losses():
+    """Section 5: circuit return + timeout + retransmission = reliable
+    delivery even on a lossy network."""
+    sim, engine, members = _lossy_engine(confirm=True, loss=0.15)
+    messages = [
+        engine.multicast(origin=members[i % 6], gid=1, length=400)
+        for i in range(25)
+    ]
+    sim.run(until=40_000_000)
+    assert all(m.complete for m in messages)
+    assert engine.confirm_retransmissions > 0
+    assert all(m.confirmed_at is not None for m in messages)
+
+
+def test_no_spurious_retransmissions_without_loss():
+    sim, engine, members = _lossy_engine(confirm=True, loss=0.0)
+    messages = [
+        engine.multicast(origin=members[i % 6], gid=1, length=400)
+        for i in range(10)
+    ]
+    sim.run(until=20_000_000)
+    assert all(m.complete for m in messages)
+    assert engine.confirm_retransmissions == 0
+
+
+def test_retry_budget_exhaustion_raises():
+    from repro.core.adapters import ProtocolError
+
+    sim, engine, members = _lossy_engine(
+        confirm=True, loss=0.9, timeout=5_000.0
+    )
+    engine.config.max_confirm_retries = 2
+    engine.multicast(origin=members[0], gid=1, length=400)
+    with pytest.raises(ProtocolError):
+        sim.run(until=50_000_000)
+
+
+def test_duplicate_deliveries_not_double_counted():
+    """Retransmissions re-deliver to members that already have the message;
+    the per-message record must count each member once."""
+    sim, engine, members = _lossy_engine(confirm=True, loss=0.2, seed=11)
+    message = engine.multicast(origin=members[1], gid=1, length=400)
+    sim.run(until=40_000_000)
+    assert message.complete
+    assert len(message.deliveries) == 5

@@ -1,0 +1,210 @@
+"""Tests for the multicast source-route encoding (Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    END_MARKER,
+    RouteTree,
+    decode_multicast_route,
+    encode_multicast_route,
+)
+from repro.core.route_encoding import (
+    RouteEncodingError,
+    route_tree_from_paths,
+    switch_process_header,
+)
+
+
+def _fig2_tree() -> RouteTree:
+    """The example of Figure 2: root switch forwards on ports 1 and 3;
+    port 1's switch forwards on ports 2 and 5 (hosts); port 3's switch
+    forwards on port 4 (then port 1 to a host) and port 7 (host)."""
+    sub1 = RouteTree([(2, None), (5, None)])
+    sub21 = RouteTree([(1, None)])
+    sub2 = RouteTree([(4, sub21), (7, None)])
+    return RouteTree([(1, sub1), (3, sub2)])
+
+
+def test_fig2_depth_first_port_order():
+    assert _fig2_tree().depth_first_ports() == [1, 2, 5, 3, 4, 1, 7]
+
+
+def test_fig2_encoding_layout():
+    data = encode_multicast_route(_fig2_tree())
+    # port 1, pointer to subtree [2,0,5,0,E], port 3, pointer to
+    # [4,<ptr>,[1,0,E],7,0,E], end marker.
+    expected = bytes(
+        [1, 5, 2, 0, 5, 0, END_MARKER]
+        + [3, 8, 4, 3, 1, 0, END_MARKER, 7, 0, END_MARKER]
+        + [END_MARKER]
+    )
+    assert data == expected
+
+
+def test_fig2_roundtrip():
+    tree = _fig2_tree()
+    assert decode_multicast_route(encode_multicast_route(tree)) == tree
+
+
+def test_fig2_switch_processing():
+    """The root switch stamps each subtree (E-terminated) on its port."""
+    data = encode_multicast_route(_fig2_tree())
+    outputs = switch_process_header(data)
+    assert [port for port, _ in outputs] == [1, 3]
+    stamped = dict(outputs)
+    assert stamped[1] == bytes([2, 0, 5, 0, END_MARKER])
+    assert stamped[3] == bytes([4, 3, 1, 0, END_MARKER, 7, 0, END_MARKER])
+    # Next level: the port-1 switch sees two leaf branches.
+    level2 = switch_process_header(stamped[1])
+    assert [port for port, _ in level2] == [2, 5]
+    assert all(header == bytes([END_MARKER]) for _, header in level2)
+
+
+def test_unicast_degenerate_route():
+    """A single-branch chain behaves like a unicast source route."""
+    tree = RouteTree([(4, RouteTree([(2, RouteTree([(9, None)]))]))])
+    data = encode_multicast_route(tree)
+    hops = []
+    header = data
+    while True:
+        outputs = switch_process_header(header)
+        assert len(outputs) == 1
+        port, header = outputs[0]
+        hops.append(port)
+        if header == bytes([END_MARKER]):
+            break
+    assert hops == [4, 2, 9]
+
+
+def test_leaf_count():
+    assert _fig2_tree().leaf_count() == 4
+    assert RouteTree([(1, None)]).leaf_count() == 1
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(RouteEncodingError):
+        encode_multicast_route(RouteTree())
+
+
+def test_port_out_of_range():
+    with pytest.raises(RouteEncodingError):
+        encode_multicast_route(RouteTree([(END_MARKER, None)]))
+    with pytest.raises(RouteEncodingError):
+        encode_multicast_route(RouteTree([(-1, None)]))
+
+
+def test_decode_truncated_header():
+    data = encode_multicast_route(_fig2_tree())
+    with pytest.raises(RouteEncodingError):
+        decode_multicast_route(data[:-1])
+    with pytest.raises(RouteEncodingError):
+        decode_multicast_route(data[:3])
+
+
+def test_decode_trailing_garbage():
+    data = encode_multicast_route(_fig2_tree()) + bytes([9])
+    with pytest.raises(RouteEncodingError):
+        decode_multicast_route(data)
+
+
+def test_decode_missing_pointer():
+    with pytest.raises(RouteEncodingError):
+        decode_multicast_route(bytes([4]))
+
+
+def test_decode_empty_branch_list():
+    with pytest.raises(RouteEncodingError):
+        decode_multicast_route(bytes([END_MARKER]))
+
+
+def _route_trees(max_depth=3):
+    """Hypothesis strategy for random route trees."""
+    leaf = st.tuples(st.integers(min_value=0, max_value=30), st.none())
+    return st.recursive(
+        st.builds(
+            RouteTree,
+            st.lists(leaf, min_size=1, max_size=3).map(
+                lambda branches: _dedupe_ports(branches)
+            ),
+        ),
+        lambda children: st.builds(
+            RouteTree,
+            st.lists(
+                st.tuples(st.integers(min_value=0, max_value=30), children | st.none()),
+                min_size=1,
+                max_size=3,
+            ).map(lambda branches: _dedupe_ports(branches)),
+        ),
+        max_leaves=8,
+    )
+
+
+def _dedupe_ports(branches):
+    seen = set()
+    result = []
+    for port, subtree in branches:
+        if port in seen:
+            continue
+        seen.add(port)
+        result.append((port, subtree))
+    return result
+
+
+@settings(max_examples=200, deadline=None)
+@given(_route_trees())
+def test_property_roundtrip(tree):
+    """encode -> decode is the identity on any well-formed route tree."""
+    assert decode_multicast_route(encode_multicast_route(tree)) == tree
+
+
+@settings(max_examples=100, deadline=None)
+@given(_route_trees())
+def test_property_switch_processing_preserves_leaves(tree):
+    """Recursively processing headers visits exactly the tree's leaves."""
+    def count_leaves(header):
+        total = 0
+        for _port, stamped in switch_process_header(header):
+            if stamped == bytes([END_MARKER]):
+                total += 1
+            else:
+                total += count_leaves(stamped)
+        return total
+
+    data = encode_multicast_route(tree)
+    assert count_leaves(data) == tree.leaf_count()
+
+
+def test_route_tree_from_paths_shared_prefix():
+    tree = route_tree_from_paths([[1, 2, 5], [1, 2, 6], [3, 7]])
+    assert tree.ports == [1, 3]
+    first = tree.branches[0][1]
+    assert first.ports == [2]
+    assert first.branches[0][1].ports == [5, 6]
+
+
+def test_route_tree_from_paths_roundtrip():
+    tree = route_tree_from_paths([[1, 2], [1, 4], [9]])
+    assert decode_multicast_route(encode_multicast_route(tree)) == tree
+
+
+def test_route_tree_from_paths_conflicts():
+    with pytest.raises(RouteEncodingError):
+        route_tree_from_paths([[1, 2], [1]])  # dest on another's path
+    with pytest.raises(RouteEncodingError):
+        route_tree_from_paths([[1], [1, 2]])
+    with pytest.raises(RouteEncodingError):
+        route_tree_from_paths([])
+    with pytest.raises(RouteEncodingError):
+        route_tree_from_paths([[]])
+
+
+def test_add_helper():
+    tree = RouteTree()
+    sub = tree.add(4, RouteTree([(1, None)]))
+    assert sub.ports == [1]
+    tree.add(6)
+    assert tree.ports == [4, 6]
+    with pytest.raises(RouteEncodingError):
+        tree.add(6)

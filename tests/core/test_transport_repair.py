@@ -1,0 +1,134 @@
+"""Tests for the [FJM+95] transport-level request/repair scheme."""
+
+import pytest
+
+from repro.core.transport_repair import RepairConfig, RepairSession
+from repro.net import WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+def _session(loss=0.0, members_count=5, seed=4, config=None):
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo, loss_rate=loss, loss_seed=seed)
+    members = topo.hosts[:members_count]
+    session = RepairSession(
+        sim, net, members, config or RepairConfig(heartbeat_period=15_000.0)
+    )
+    return sim, net, session
+
+
+def test_session_needs_two_members():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    with pytest.raises(ValueError):
+        RepairSession(sim, net, [topo.hosts[0]])
+
+
+def test_source_is_chain_head():
+    sim, net, session = _session()
+    assert session.source == min(session.members)
+
+
+def test_lossless_chain_delivers_in_order():
+    sim, net, session = _session(loss=0.0)
+
+    def traffic():
+        for _ in range(5):
+            session.send(length=200)
+            yield sim.timeout(1_000)
+
+    sim.process(traffic())
+    sim.run(until=2_000_000)
+    assert session.all_complete()
+    assert session.requests_sent == 0
+    assert session.repairs_sent == 0
+    # chain order: each member receives after its predecessor
+    for seq in range(5):
+        times = [session.delivery_time(seq, h) for h in session.members]
+        assert times == sorted(times)
+
+
+def test_gap_detected_and_repaired():
+    """A mid-chain drop leaves downstream members with a gap; the request
+    travels up the chain and a holder rebroadcasts."""
+    sim, net, session = _session(loss=0.25, seed=9)
+
+    def traffic():
+        for _ in range(15):
+            session.send(length=300)
+            yield sim.timeout(1_500)
+
+    sim.process(traffic())
+    sim.run(until=20_000_000)
+    assert net.dropped_worms > 0          # losses really happened
+    assert session.all_complete()          # and were all repaired
+    assert session.requests_sent > 0
+    assert session.repairs_sent > 0
+
+
+def test_repair_latency_exceeds_normal_latency():
+    """Repaired messages pay the gap-detection timeout: their end-to-end
+    latency is visibly larger than un-lost ones."""
+    sim, net, session = _session(loss=0.3, seed=2)
+
+    def traffic():
+        for _ in range(12):
+            session.send(length=300)
+            yield sim.timeout(2_000)
+
+    sim.process(traffic())
+    sim.run(until=30_000_000)
+    assert session.all_complete()
+    latencies = [session.latency(s) for s in range(12)]
+    assert max(latencies) > 2 * min(latencies)
+
+
+def test_heartbeat_catches_tail_loss():
+    """If the *last* message is dropped, no later data exposes the gap;
+    only the heartbeat can (tail-loss detection)."""
+    sim, net, session = _session(
+        loss=0.0,
+        config=RepairConfig(heartbeat_period=8_000.0, request_timeout=2_000.0),
+    )
+    # Send one message and force-drop it by spiking the loss rate while
+    # its transfer process starts (the drop decision is made then).
+    net.loss_rate = 0.999
+    session.send(length=300)
+    sim.run(until=1.0)
+    net.loss_rate = 0.0
+    sim.run(until=5_000_000)
+    assert session.all_complete()
+    assert session.repairs_sent >= 1
+
+
+def test_duplicate_suppression():
+    sim, net, session = _session(loss=0.2, seed=6)
+
+    def traffic():
+        for _ in range(10):
+            session.send(length=250)
+            yield sim.timeout(1_200)
+
+    sim.process(traffic())
+    sim.run(until=20_000_000)
+    assert session.all_complete()
+    # duplicates happen (repairs re-forward along the chain) but stay small
+    assert session.duplicates <= session.repairs_sent * len(session.members)
+
+
+def test_latency_requires_completion():
+    sim, net, session = _session()
+    session.send(length=100)
+    with pytest.raises(RuntimeError):
+        session.latency(0)
+    sim.run(until=1_000_000)
+    assert session.latency(0) > 0
+
+
+def test_idle_session_quiesces():
+    sim, net, session = _session()
+    session.send(length=100)
+    sim.run()  # must terminate despite the heartbeat loop
+    assert session.all_complete()

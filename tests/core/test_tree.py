@@ -1,0 +1,145 @@
+"""Tests for rooted-tree construction (Section 6, Figure 9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MulticastGroup, RootedTree, tree_hop_length
+from repro.net import UpDownRouting, torus
+
+
+def _group(members, gid=1):
+    return MulticastGroup(gid, members)
+
+
+def test_root_is_lowest_id():
+    tree = RootedTree(_group([50, 10, 30]))
+    assert tree.root == 10
+
+
+def test_heap_shape_binary():
+    members = [10, 20, 30, 40, 50, 60, 70]
+    tree = RootedTree(_group(members), branching=2)
+    assert tree.children(10) == [20, 30]
+    assert tree.children(20) == [40, 50]
+    assert tree.children(30) == [60, 70]
+    assert tree.children(40) == []
+    assert tree.parent(10) is None
+    assert tree.parent(50) == 20
+
+
+def test_fig9_tree():
+    """Figure 9's rooted tree: members {10,36,12,49,19,23,27,52,41} with root
+    10 -- our heap shape reproduces the ID rule (children > parent), though
+    the exact figure tree was hand-drawn."""
+    members = [10, 12, 19, 23, 27, 36, 41, 49, 52]
+    tree = RootedTree(_group(members), branching=2)
+    assert tree.root == 10
+    assert tree.id_rule_holds()
+    assert tree.covers_all_members()
+    # every non-root node has a parent with a lower id
+    for m in members[1:]:
+        assert tree.parent(m) < m
+
+
+def test_branching_three():
+    members = list(range(1, 14))
+    tree = RootedTree(_group(members), branching=3)
+    assert tree.children(1) == [2, 3, 4]
+    assert tree.children(2) == [5, 6, 7]
+    assert all(len(tree.children(m)) <= 3 for m in members)
+
+
+def test_invalid_branching():
+    with pytest.raises(ValueError):
+        RootedTree(_group([1, 2, 3]), branching=0)
+
+
+def test_unknown_shape():
+    with pytest.raises(ValueError):
+        RootedTree(_group([1, 2, 3]), shape="bogus")
+
+
+def test_neighbors():
+    tree = RootedTree(_group([1, 2, 3, 4, 5]))
+    assert tree.neighbors(1) == [2, 3]
+    assert tree.neighbors(2) == [1, 4, 5]
+    assert tree.neighbors(4) == [2]
+
+
+def test_depth():
+    tree = RootedTree(_group([1, 2, 3, 4, 5, 6, 7]))
+    assert tree.depth(1) == 0
+    assert tree.depth(3) == 1
+    assert tree.depth(7) == 2
+
+
+def test_non_member_rejected():
+    tree = RootedTree(_group([1, 2, 3]))
+    with pytest.raises(ValueError):
+        tree.children(9)
+    with pytest.raises(ValueError):
+        tree.parent(9)
+
+
+def test_walk_preorder_covers_all():
+    members = [3, 1, 4, 1, 5, 9, 2, 6]
+    tree = RootedTree(_group(members))
+    walk = tree.walk_preorder()
+    assert sorted(walk) == sorted(set(members))
+    assert walk[0] == tree.root
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    members=st.sets(st.integers(min_value=0, max_value=300), min_size=2, max_size=25),
+    branching=st.integers(min_value=1, max_value=4),
+)
+def test_property_id_rule_and_coverage(members, branching):
+    """The Section 6 deadlock/ordering preconditions hold for any group:
+    children have strictly higher IDs and the tree spans all members."""
+    tree = RootedTree(_group(sorted(members)), branching=branching)
+    assert tree.id_rule_holds()
+    assert tree.covers_all_members()
+    # parent chains terminate at the root (no cycles)
+    for m in members:
+        assert tree.depth(m) <= len(members)
+
+
+def test_greedy_weighted_requires_routing():
+    with pytest.raises(ValueError):
+        RootedTree(_group([1, 2, 3]), shape="greedy_weighted")
+
+
+def test_greedy_weighted_keeps_id_rule():
+    topo = torus(4, 4)
+    routing = UpDownRouting(topo)
+    members = topo.hosts[:9]
+    tree = RootedTree(
+        _group(members), branching=2, shape="greedy_weighted", routing=routing
+    )
+    assert tree.id_rule_holds()
+    assert tree.covers_all_members()
+
+
+def test_greedy_weighted_no_longer_than_heap():
+    topo = torus(4, 4)
+    routing = UpDownRouting(topo)
+    members = [topo.hosts[i] for i in (0, 3, 5, 7, 9, 11, 13, 15)]
+    heap = RootedTree(_group(members), branching=2)
+    greedy = RootedTree(
+        _group(members), branching=2, shape="greedy_weighted", routing=routing
+    )
+    assert tree_hop_length(greedy, routing) <= tree_hop_length(heap, routing)
+
+
+def test_tree_hop_length_counts_edges():
+    topo = torus(3, 3)
+    routing = UpDownRouting(topo)
+    members = topo.hosts[:4]
+    tree = RootedTree(_group(members))
+    total = tree_hop_length(tree, routing)
+    manual = sum(
+        routing.hop_count(tree.parent(m), m) for m in members if tree.parent(m)
+    )
+    assert total == manual

@@ -1,0 +1,107 @@
+"""Tests for slack buffers and STOP/GO watermarks (Figure 1)."""
+
+import pytest
+
+from repro.net.flitlevel.flits import Flit, FlitKind
+from repro.net.flitlevel.slack import SlackBuffer
+
+
+def _data(wid=1):
+    return Flit(FlitKind.DATA, wid)
+
+
+def test_default_watermarks():
+    buf = SlackBuffer(capacity=32)
+    assert buf.stop_mark == 24
+    assert buf.go_mark == 8
+
+
+def test_invalid_watermarks():
+    with pytest.raises(ValueError):
+        SlackBuffer(capacity=8, stop_mark=2, go_mark=4)  # Kg >= Ks
+    with pytest.raises(ValueError):
+        SlackBuffer(capacity=8, stop_mark=10, go_mark=2)  # Ks > capacity
+    with pytest.raises(ValueError):
+        SlackBuffer(capacity=1)
+
+
+def test_push_pop_fifo():
+    buf = SlackBuffer(capacity=8)
+    a, b = Flit(FlitKind.DATA, 1), Flit(FlitKind.TAIL, 1)
+    buf.push(a)
+    buf.push(b)
+    assert buf.front() is a
+    assert buf.pop() is a
+    assert buf.pop() is b
+    assert buf.empty
+
+
+def test_fig1_stop_asserted_above_high_watermark():
+    """Figure 1(b): filling past Ks sends a STOP upstream."""
+    buf = SlackBuffer(capacity=8, stop_mark=6, go_mark=2)
+    for _ in range(5):
+        buf.push(_data())
+    assert not buf.desired_stop()
+    buf.push(_data())       # occupancy 6 == Ks
+    assert buf.desired_stop()
+
+
+def test_fig1_go_hysteresis():
+    """Figure 1(c): STOP stays asserted until occupancy drains to Kg."""
+    buf = SlackBuffer(capacity=8, stop_mark=6, go_mark=2)
+    for _ in range(6):
+        buf.push(_data())
+    assert buf.desired_stop()
+    buf.pop()               # 5: between marks, still stopping
+    assert buf.desired_stop()
+    buf.pop(); buf.pop()    # 3
+    assert buf.desired_stop()
+    buf.pop()               # 2 == Kg: GO
+    assert not buf.desired_stop()
+
+
+def test_no_retrigger_between_marks_on_refill():
+    buf = SlackBuffer(capacity=8, stop_mark=6, go_mark=2)
+    for _ in range(6):
+        buf.push(_data())
+    for _ in range(4):
+        buf.pop()           # down to 2 -> GO
+    assert not buf.desired_stop()
+    buf.push(_data())       # 3: between marks, no STOP yet
+    assert not buf.desired_stop()
+
+
+def test_overflow_counted_and_dropped():
+    buf = SlackBuffer(capacity=2, stop_mark=2, go_mark=1)
+    buf.push(_data())
+    buf.push(_data())
+    buf.push(_data())       # overflow
+    assert len(buf) == 2
+    assert buf.overflows == 1
+
+
+def test_peak_tracking():
+    buf = SlackBuffer(capacity=8)
+    for _ in range(5):
+        buf.push(_data())
+    buf.pop()
+    assert buf.peak == 5
+
+
+def test_drop_worm_removes_only_that_worm():
+    buf = SlackBuffer(capacity=8)
+    buf.push(_data(wid=1))
+    buf.push(_data(wid=2))
+    buf.push(_data(wid=1))
+    dropped = buf.drop_worm(1)
+    assert dropped == 2
+    assert len(buf) == 1
+    assert buf.front().wid == 2
+
+
+def test_peek():
+    buf = SlackBuffer(capacity=8)
+    buf.push(_data(wid=1))
+    buf.push(_data(wid=2))
+    assert buf.peek(1).wid == 2
+    assert buf.peek(5) is None

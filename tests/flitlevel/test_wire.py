@@ -1,0 +1,79 @@
+"""Tests for wires and reverse STOP/GO signalling."""
+
+import pytest
+
+from repro.net.flitlevel.flits import Flit, FlitKind
+from repro.net.flitlevel.wire import Wire
+
+
+def _flit(wid=1, kind=FlitKind.DATA):
+    return Flit(kind, wid)
+
+
+def test_delay_one_delivery():
+    wire = Wire(delay=1)
+    wire.push(_flit(), now=5)
+    assert wire.deliver(5) is None
+    assert wire.deliver(6) is not None
+    assert wire.deliver(7) is None
+
+
+def test_longer_delay():
+    wire = Wire(delay=10)
+    wire.push(_flit(), now=0)
+    for t in range(1, 10):
+        assert wire.deliver(t) is None
+    assert wire.deliver(10) is not None
+
+
+def test_one_flit_per_tick():
+    wire = Wire(delay=1)
+    wire.push(_flit(), now=3)
+    with pytest.raises(RuntimeError):
+        wire.push(_flit(), now=3)
+    wire.push(_flit(), now=4)
+    assert not wire.can_push(4)
+    assert wire.can_push(5)
+
+
+def test_invalid_delay():
+    with pytest.raises(ValueError):
+        Wire(delay=0)
+
+
+def test_fifo_delivery_order():
+    wire = Wire(delay=2)
+    a, b = _flit(wid=1), _flit(wid=2)
+    wire.push(a, now=0)
+    wire.push(b, now=1)
+    assert wire.deliver(2) is a
+    assert wire.deliver(3) is b
+
+
+def test_stop_signal_propagates_with_delay():
+    wire = Wire(delay=3)
+    assert not wire.stop_at_sender(0)
+    wire.signal_stop(True, now=0)
+    assert not wire.stop_at_sender(1)
+    assert not wire.stop_at_sender(2)
+    assert wire.stop_at_sender(3)
+    wire.signal_stop(False, now=3)
+    assert wire.stop_at_sender(5)
+    assert not wire.stop_at_sender(6)
+
+
+def test_drop_worm_in_flight():
+    wire = Wire(delay=5)
+    wire.push(_flit(wid=7), now=0)
+    wire.push(_flit(wid=8), now=1)
+    assert wire.drop_worm(7) == 1
+    assert wire.deliver(5) is None
+    assert wire.deliver(6).wid == 8
+
+
+def test_carried_and_idle_counters():
+    wire = Wire(delay=1)
+    wire.push(_flit(kind=FlitKind.IDLE), now=0)
+    wire.push(_flit(), now=1)
+    assert wire.carried == 2
+    assert wire.idles == 1

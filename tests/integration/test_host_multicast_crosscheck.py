@@ -1,0 +1,115 @@
+"""Crosscheck: host-adapter Hamiltonian multicast, worm-level vs flit-level.
+
+The Figure 10/11 sweeps run on the fast worm-level engine; the paper's own
+simulator was byte-level.  Here the same protocol (Hamiltonian circuit,
+store-and-forward) runs on both substrates and the per-destination
+delivery latencies must agree up to the flit model's constant per-hop
+pipeline/header overhead.
+"""
+
+import pytest
+
+from repro.core import AdapterConfig, MulticastEngine, Scheme
+from repro.net import UpDownRouting, WormholeNetwork, torus
+from repro.net.flitlevel import FlitNetwork
+from repro.sim import Simulator
+
+
+def _worm_level_deliveries(topo, routing, members, origin, length):
+    sim = Simulator()
+    net = WormholeNetwork(sim, topo, routing=routing)
+    engine = MulticastEngine(sim, net, AdapterConfig(cut_through=False))
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    message = engine.multicast(origin=origin, gid=1, length=length)
+    sim.run()
+    assert message.complete
+    return {h: t - message.created for h, t in message.deliveries.items()}
+
+
+def _flit_level_deliveries(topo, routing, members, origin, length):
+    net = FlitNetwork(topo, routing=routing)
+    net.create_host_group(1, members)
+    mid = net.send_host_multicast(origin, 1, payload_bytes=length)
+    assert net.run(max_ticks=500_000) == "delivered"
+    message = net.messages[mid]
+    return {h: t - message.created for h, t in message.deliveries.items()}
+
+
+@pytest.mark.parametrize("length", [100, 400])
+def test_idle_network_latencies_agree(length):
+    topo = torus(3, 3)
+    routing = UpDownRouting(topo)
+    members = topo.hosts[:5]
+    origin = members[2]
+    worm = _worm_level_deliveries(topo, routing, members, origin, length)
+    flit = _flit_level_deliveries(topo, routing, members, origin, length)
+    assert set(worm) == set(flit)
+    # Same circuit -> same delivery order.
+    worm_order = sorted(worm, key=worm.get)
+    flit_order = sorted(flit, key=flit.get)
+    assert worm_order == flit_order
+    # Latency agreement: the flit model pays a small constant per S&F hop
+    # (route bytes on the wire + pipeline ticks), nothing length-dependent.
+    for index, host in enumerate(worm_order, start=1):
+        gap = flit[host] - worm[host]
+        assert 0 <= gap <= 12 * index, (host, worm[host], flit[host])
+
+
+def test_gap_is_constant_in_length():
+    """The worm/flit gap must not scale with worm length -- that would
+    indicate a modelling error in streaming rates."""
+    topo = torus(3, 3)
+    routing = UpDownRouting(topo)
+    members = topo.hosts[:4]
+    origin = members[0]
+    gaps = {}
+    for length in (100, 800):
+        worm = _worm_level_deliveries(topo, routing, members, origin, length)
+        flit = _flit_level_deliveries(topo, routing, members, origin, length)
+        last = max(worm, key=worm.get)
+        gaps[length] = flit[last] - worm[last]
+    assert abs(gaps[800] - gaps[100]) <= 4
+
+
+def test_contended_circuit_same_winner():
+    """Two concurrent multicasts on overlapping circuits: both models
+    deliver everything (the serialization they resolve may differ by a
+    tick, so only completeness is compared)."""
+    topo = torus(3, 3)
+    routing = UpDownRouting(topo)
+    members = topo.hosts[:5]
+
+    # worm level
+    sim = Simulator()
+    wnet = WormholeNetwork(sim, topo, routing=routing)
+    engine = MulticastEngine(sim, wnet, AdapterConfig())
+    engine.create_group(1, members, Scheme.HAMILTONIAN)
+    m1 = engine.multicast(origin=members[0], gid=1, length=200)
+    m2 = engine.multicast(origin=members[2], gid=1, length=200)
+    sim.run()
+    assert m1.complete and m2.complete
+
+    # flit level
+    fnet = FlitNetwork(topo, routing=routing)
+    fnet.create_host_group(1, members)
+    f1 = fnet.send_host_multicast(members[0], 1, payload_bytes=200)
+    f2 = fnet.send_host_multicast(members[2], 1, payload_bytes=200)
+    assert fnet.run(max_ticks=500_000) == "delivered"
+    assert fnet.messages[f1].complete and fnet.messages[f2].complete
+
+
+def test_host_group_validation():
+    topo = torus(3, 3)
+    net = FlitNetwork(topo)
+    hosts = topo.hosts
+    with pytest.raises(ValueError):
+        net.create_host_group(1, [hosts[0]])
+    with pytest.raises(ValueError):
+        net.create_host_group(1, [hosts[0], topo.switches[0]])
+    net.create_host_group(1, hosts[:3])
+    with pytest.raises(ValueError):
+        net.create_host_group(1, hosts[:3])
+    with pytest.raises(KeyError):
+        net.send_host_multicast(hosts[0], 9, 10)
+    with pytest.raises(ValueError):
+        net.send_host_multicast(hosts[8], 1, 10)

@@ -1,0 +1,107 @@
+"""Property-based invariants across the stack."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MulticastEngine, Scheme
+from repro.net import Worm, WormholeNetwork, random_irregular, torus
+from repro.net.flitlevel import FlitNetwork
+from repro.sim import RandomStreams, Simulator
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    n_worms=st.integers(min_value=1, max_value=25),
+)
+def test_property_wormnet_conservation(seed, n_worms):
+    """Every injected worm is delivered exactly once, and at quiescence no
+    channel is held -- regardless of the traffic pattern."""
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    hosts = topo.hosts
+    rng = RandomStreams(seed).stream("t")
+    delivered = []
+    for h in hosts:
+        net.set_receiver(h, lambda worm, transfer: delivered.append(worm.wid))
+    sent = []
+    for _ in range(n_worms):
+        src = rng.choice(hosts)
+        dst = rng.choice([h for h in hosts if h != src])
+        worm = Worm(source=src, dest=dst, length=rng.randint(8, 900))
+        sent.append(worm.wid)
+        net.send(worm)
+    sim.run()
+    assert sorted(delivered) == sorted(sent)
+    assert all(not ch.busy for ch in net.channels)
+    assert net.delivered_worms == n_worms
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    scheme=st.sampled_from(
+        [Scheme.HAMILTONIAN, Scheme.TREE, Scheme.TREE_BROADCAST,
+         Scheme.REPEATED_UNICAST]
+    ),
+    members_count=st.integers(min_value=2, max_value=9),
+)
+def test_property_multicast_exactly_once_per_member(seed, scheme, members_count):
+    """Any scheme, any group, any origin: every member except the origin
+    receives the message exactly once."""
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(sim, net, rng=RandomStreams(seed))
+    rng = RandomStreams(seed + 1).stream("pick")
+    members = sorted(rng.sample(topo.hosts, members_count))
+    engine.create_group(1, members, scheme)
+    origin = rng.choice(members)
+    counts = {}
+
+    def observer(host, worm, message, when):
+        counts[host] = counts.get(host, 0) + 1
+
+    engine.delivery_observer = observer
+    message = engine.multicast(origin=origin, gid=1, length=rng.randint(32, 800))
+    sim.run()
+    assert message.complete
+    expected = set(members) - {origin}
+    assert set(message.deliveries) == expected
+    for member in expected:
+        assert counts.get(member, 0) == 1, (member, counts)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    n_switches=st.integers(min_value=2, max_value=6),
+    extra=st.integers(min_value=0, max_value=3),
+)
+def test_property_flit_broadcast_covers_all_hosts(seed, n_switches, extra):
+    """Switch-level broadcast reaches every host on any connected topology."""
+    topo = random_irregular(n_switches, extra_links=extra, seed=seed)
+    net = FlitNetwork(topo, seed=seed)
+    src = topo.hosts[seed % len(topo.hosts)]
+    wid = net.send_broadcast(src, payload_bytes=24)
+    assert net.run(max_ticks=100_000) == "delivered"
+    assert set(net.records[wid].delivered_at) == set(topo.hosts)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    k=st.integers(min_value=1, max_value=5),
+)
+def test_property_flit_multicast_exact_destinations(seed, k):
+    """Switch-level multicast reaches exactly the destination set."""
+    topo = torus(3, 3)
+    net = FlitNetwork(topo, seed=seed)
+    hosts = topo.hosts
+    rng = RandomStreams(seed).stream("d")
+    src = rng.choice(hosts)
+    dests = rng.sample([h for h in hosts if h != src], k)
+    wid = net.send_multicast(src, dests, payload_bytes=32)
+    assert net.run(max_ticks=100_000) == "delivered"
+    assert set(net.records[wid].delivered_at) == set(dests)

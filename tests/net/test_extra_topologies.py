@@ -1,0 +1,96 @@
+"""Tests for the hypercube and complete-graph topologies."""
+
+import pytest
+
+from repro.core import MulticastEngine, Scheme
+from repro.net import (
+    UpDownRouting,
+    WormholeNetwork,
+    check_deadlock_free,
+    complete_switches,
+    hypercube,
+)
+from repro.sim import Simulator
+
+
+def test_hypercube_shape():
+    for dim in (1, 2, 3, 4):
+        topo = hypercube(dim)
+        assert len(topo.switches) == 2**dim
+        switch_links = [
+            l for l in topo.links
+            if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+        ]
+        assert len(switch_links) == dim * 2 ** (dim - 1)
+        assert topo.is_connected()
+
+
+def test_hypercube_degree():
+    dim = 4
+    topo = hypercube(dim)
+    for s in topo.switches:
+        neighbors = [p for p, _ in topo.neighbors(s) if topo.node(p).is_switch]
+        assert len(neighbors) == dim
+
+
+def test_hypercube_invalid_dimension():
+    with pytest.raises(ValueError):
+        hypercube(0)
+
+
+def test_hypercube_updown_deadlock_free():
+    topo = hypercube(4)
+    assert check_deadlock_free(UpDownRouting(topo))
+
+
+def test_complete_switches_shape():
+    topo = complete_switches(6)
+    switch_links = [
+        l for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    ]
+    assert len(switch_links) == 15
+    assert topo.is_connected()
+
+
+def test_complete_switches_invalid():
+    with pytest.raises(ValueError):
+        complete_switches(1)
+
+
+def test_complete_graph_crosslink_fraction():
+    """On the complete graph, up/down's spanning tree leaves almost all
+    links as crosslinks -- the worst case for the Section 3 S1 scheme."""
+    topo = complete_switches(8)
+    routing = UpDownRouting(topo)
+    switch_links = [
+        l for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    ]
+    crosslinks = [l for l in switch_links if routing.is_crosslink(l)]
+    assert len(crosslinks) == len(switch_links) - 7  # 28 - (n-1)
+
+
+def test_multicast_on_hypercube():
+    sim = Simulator()
+    topo = hypercube(3)
+    net = WormholeNetwork(sim, topo)
+    engine = MulticastEngine(sim, net)
+    members = topo.hosts[:6]
+    engine.create_group(1, members, Scheme.TREE_BROADCAST)
+    message = engine.multicast(origin=members[2], gid=1, length=300)
+    sim.run()
+    assert message.complete
+
+
+def test_hypercube_diameter_logarithmic():
+    """Hypercube routes stay short: up/down hop count between any two
+    hosts is bounded by a small multiple of the dimension."""
+    topo = hypercube(4)
+    routing = UpDownRouting(topo)
+    hosts = topo.hosts
+    worst = max(
+        routing.hop_count(hosts[0], h) for h in hosts[1:]
+    )
+    # 2 host hops + at most ~2*dim switch hops under up/down inflation
+    assert worst <= 2 + 2 * 4

@@ -1,0 +1,243 @@
+"""Tests for up/down routing: legality, determinism, deadlock freedom."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    UpDownRouting,
+    bidirectional_shufflenet,
+    check_deadlock_free,
+    line,
+    mesh,
+    random_irregular,
+    ring,
+    torus,
+)
+from repro.net.topology import Topology, fig3_topology
+
+
+def _routing(topo, root=None):
+    return UpDownRouting(topo, root=root)
+
+
+def test_levels_from_root():
+    topo = line(3)
+    routing = _routing(topo, root=topo.switches[0])
+    s0, s1, s2 = topo.switches
+    assert routing.level[s0] == 0
+    assert routing.level[s1] == 1
+    assert routing.level[s2] == 2
+
+
+def test_hosts_are_leaves():
+    topo = line(3)
+    routing = _routing(topo)
+    for host in topo.hosts:
+        assert routing.level[host] == routing.level[topo.host_switch(host)] + 1
+
+
+def test_is_up_by_level_and_id():
+    topo = ring(4)
+    routing = _routing(topo, root=topo.switches[0])
+    s = topo.switches
+    # level tie between s[1] and s[3] (both distance 1): lower id is 'up'.
+    assert routing.level[s[1]] == routing.level[s[3]] == 1
+    assert routing.is_up(s[3], s[1])
+    assert not routing.is_up(s[1], s[3])
+    # towards the root is up
+    assert routing.is_up(s[1], s[0])
+
+
+def test_route_same_node_empty():
+    topo = line(2)
+    routing = _routing(topo)
+    host = topo.hosts[0]
+    assert routing.route(host, host) == []
+
+
+def test_route_endpoints_and_connectivity():
+    topo = torus(4, 4)
+    routing = _routing(topo)
+    hosts = topo.hosts
+    hops = routing.route(hosts[0], hosts[5])
+    assert hops[0][0] == hosts[0]
+    assert hops[-1][1] == hosts[5]
+    for (_, b, _), (a2, _, _) in zip(hops, hops[1:]):
+        assert b == a2  # consecutive hops share a node
+
+
+def test_route_nodes_contiguous():
+    topo = torus(4, 4)
+    routing = _routing(topo)
+    hosts = topo.hosts
+    nodes = routing.route_nodes(hosts[0], hosts[9])
+    assert nodes[0] == hosts[0]
+    assert nodes[-1] == hosts[9]
+    for a, b in zip(nodes, nodes[1:]):
+        assert any(peer == b for peer, _ in topo.neighbors(a))
+
+
+def test_routes_obey_up_down_rule():
+    topo = torus(4, 4)
+    routing = _routing(topo)
+    hosts = topo.hosts
+    for src in hosts[:6]:
+        for dst in hosts[:6]:
+            if src == dst:
+                continue
+            assert routing.is_legal(routing.route_nodes(src, dst))
+
+
+def test_route_deterministic():
+    topo = torus(4, 4)
+    a = _routing(topo)
+    b = _routing(topo)
+    hosts = topo.hosts
+    for src, dst in [(hosts[0], hosts[7]), (hosts[3], hosts[12])]:
+        assert a.route_nodes(src, dst) == b.route_nodes(src, dst)
+
+
+def test_route_cached_copy_isolated():
+    topo = line(3)
+    routing = _routing(topo)
+    hosts = topo.hosts
+    first = routing.route(hosts[0], hosts[2])
+    first.append("garbage")
+    second = routing.route(hosts[0], hosts[2])
+    assert second[-1] != "garbage"
+
+
+def test_restrict_to_tree_avoids_crosslinks():
+    topo = fig3_topology()
+    routing = _routing(topo, root=0)  # A is the root
+    crosslinks = [l for l in topo.links if routing.is_crosslink(l)]
+    assert crosslinks, "fig3 must have a crosslink"
+    hosts = topo.hosts
+    for src in hosts:
+        for dst in hosts:
+            if src == dst:
+                continue
+            hops = routing.route(src, dst, restrict_to_tree=True)
+            assert all(not routing.is_crosslink(link) for _, _, link in hops)
+
+
+def test_unrestricted_uses_crosslink_when_shorter():
+    topo = fig3_topology()
+    routing = _routing(topo, root=0)
+    # host_b (on E) to host_c (on D): direct via crosslink E-D if legal,
+    # at minimum the unrestricted route is no longer than the restricted one.
+    host_b = [h for h in topo.hosts if topo.node(h).name == "host_b"][0]
+    host_c = [h for h in topo.hosts if topo.node(h).name == "host_c"][0]
+    free = routing.route(host_b, host_c)
+    tree = routing.route(host_b, host_c, restrict_to_tree=True)
+    assert len(free) <= len(tree)
+
+
+def test_spanning_tree_size():
+    topo = torus(4, 4)
+    routing = _routing(topo)
+    # spanning tree over all nodes (switches + hosts): n-1 links
+    assert len(routing.tree_links) == len(topo.nodes) - 1
+
+
+def test_down_links_cover_tree_children():
+    topo = line(3)
+    routing = _routing(topo, root=topo.switches[0])
+    root_down = routing.down_links(topo.switches[0])
+    # the root's down links: towards s1 and towards its host
+    assert len(root_down) == 2
+
+
+def test_root_must_be_switch():
+    topo = line(2)
+    with pytest.raises(ValueError):
+        UpDownRouting(topo, root=topo.hosts[0])
+
+
+def test_disconnected_topology_rejected():
+    topo = Topology()
+    topo.add_switch()
+    topo.add_switch()
+    with pytest.raises(ValueError):
+        UpDownRouting(topo)
+
+
+def test_deadlock_free_torus():
+    topo = torus(4, 4)
+    routing = _routing(topo)
+    assert check_deadlock_free(routing)
+
+
+def test_deadlock_free_shufflenet():
+    topo = bidirectional_shufflenet(2, 2)
+    routing = _routing(topo)
+    assert check_deadlock_free(routing)
+
+
+def test_deadlock_free_with_all_roots():
+    topo = mesh(3, 3)
+    for root in topo.switches:
+        routing = _routing(topo, root=root)
+        assert check_deadlock_free(routing)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    extra=st.integers(min_value=0, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_random_topologies_deadlock_free(n, extra, seed):
+    """Up/down routing yields an acyclic channel dependency graph on any
+    connected topology -- the paper's core deadlock-freedom claim."""
+    topo = random_irregular(n, extra_links=extra, seed=seed)
+    routing = _routing(topo)
+    assert check_deadlock_free(routing)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    extra=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_routes_legal_and_reach(n, extra, seed):
+    topo = random_irregular(n, extra_links=extra, seed=seed)
+    routing = _routing(topo)
+    hosts = topo.hosts
+    for src in hosts[:4]:
+        for dst in hosts[:4]:
+            if src == dst:
+                continue
+            nodes = routing.route_nodes(src, dst)
+            assert nodes[0] == src and nodes[-1] == dst
+            assert routing.is_legal(nodes)
+
+
+def test_hop_count_symmetric_length_on_line():
+    topo = line(4)
+    routing = _routing(topo)
+    hosts = topo.hosts
+    assert routing.hop_count(hosts[0], hosts[3]) == routing.hop_count(
+        hosts[3], hosts[0]
+    )
+
+
+def test_up_down_longer_than_shortest_possible():
+    """Up/down may inflate path length; it must never beat the true shortest
+    path (sanity check of the search)."""
+    import networkx as nx
+
+    topo = torus(4, 4)
+    routing = _routing(topo)
+    graph = nx.Graph()
+    for link in topo.links:
+        graph.add_edge(link.a, link.b)
+    hosts = topo.hosts
+    for src in hosts[:5]:
+        lengths = nx.single_source_shortest_path_length(graph, src)
+        for dst in hosts[:5]:
+            if src == dst:
+                continue
+            assert routing.hop_count(src, dst) >= lengths[dst]

@@ -1,0 +1,68 @@
+"""Tests for worm records."""
+
+import pytest
+
+from repro.net import Worm, WormKind
+from repro.net.worm import MAX_WORM_BYTES
+
+
+def test_worm_defaults():
+    worm = Worm(source=1, dest=2, length=400)
+    assert worm.kind == WormKind.UNICAST
+    assert worm.origin == 1
+    assert worm.group is None
+    assert not worm.wrapped
+
+
+def test_worm_ids_unique():
+    a = Worm(source=1, dest=2, length=10)
+    b = Worm(source=1, dest=2, length=10)
+    assert a.wid != b.wid
+
+
+def test_worm_length_validation():
+    with pytest.raises(ValueError):
+        Worm(source=1, dest=2, length=0)
+    with pytest.raises(ValueError):
+        Worm(source=1, dest=2, length=MAX_WORM_BYTES + 1)
+
+
+def test_worm_max_length_allowed():
+    Worm(source=1, dest=2, length=MAX_WORM_BYTES)
+
+
+def test_forwarded_to_preserves_message_identity():
+    worm = Worm(
+        source=3,
+        dest=5,
+        length=400,
+        kind=WormKind.MULTICAST,
+        group=7,
+        hop_count=4,
+        seqno=12,
+        created=100.0,
+        payload="data",
+    )
+    nxt = worm.forwarded_to(9, hop_count=3)
+    assert nxt.source == 5          # forwarding host
+    assert nxt.dest == 9
+    assert nxt.origin == 3
+    assert nxt.group == 7
+    assert nxt.hop_count == 3
+    assert nxt.seqno == 12
+    assert nxt.created == 100.0
+    assert nxt.payload == "data"
+    assert nxt.wid != worm.wid
+
+
+def test_forwarded_to_wrapped_override():
+    worm = Worm(source=3, dest=5, length=100, kind=WormKind.MULTICAST)
+    assert not worm.wrapped
+    nxt = worm.forwarded_to(1, wrapped=True)
+    assert nxt.wrapped
+
+
+def test_is_control():
+    assert Worm(source=1, dest=2, length=8, kind=WormKind.ACK).is_control
+    assert Worm(source=1, dest=2, length=8, kind=WormKind.NACK).is_control
+    assert not Worm(source=1, dest=2, length=8).is_control

@@ -1,0 +1,372 @@
+"""Tests for the DES engine and process model."""
+
+import pytest
+
+from repro.sim import Interrupt, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=42.0)
+    assert sim.now == 42.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1)
+        return "finished"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "finished"
+    assert not p.is_alive
+
+
+def test_run_until_stops_at_time():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(100)
+
+    sim.process(proc())
+    sim.run(until=10)
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator(start_time=5)
+    with pytest.raises(ValueError):
+        sim.run(until=1)
+
+
+def test_events_ordered_by_time():
+    sim = Simulator()
+    order = []
+
+    def proc(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(proc(3, "c"))
+    sim.process(proc(1, "a"))
+    sim.process(proc(2, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fifo():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield sim.timeout(1)
+        order.append(tag)
+
+    for tag in ("x", "y", "z"):
+        sim.process(proc(tag))
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_process_waits_for_process():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(7)
+        return 99
+
+    def parent():
+        value = yield sim.process(child())
+        return value
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 99
+    assert sim.now == 7.0
+
+
+def test_zero_delay_timeout():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(0)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 0.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1)
+
+
+def test_nested_processes_chain():
+    sim = Simulator()
+
+    def level(n):
+        if n == 0:
+            yield sim.timeout(1)
+            return 0
+        value = yield sim.process(level(n - 1))
+        return value + 1
+
+    p = sim.process(level(10))
+    sim.run()
+    assert p.value == 10
+    assert sim.now == 1.0
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "caught boom"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(1)
+        raise RuntimeError("unhandled")
+
+    sim.process(bad())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, sim.now)
+
+    def interrupter(target):
+        yield sim.timeout(5)
+        target.interrupt(cause="wakeup")
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert victim.value == ("interrupted", "wakeup", 5.0)
+
+
+def test_interrupt_finished_process_raises():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1)
+
+    p = sim.process(quick())
+    sim.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100)
+        except Interrupt:
+            pass
+        yield sim.timeout(10)
+        return sim.now
+
+    def interrupter(target):
+        yield sim.timeout(5)
+        target.interrupt()
+
+    victim = sim.process(sleeper())
+    sim.process(interrupter(victim))
+    sim.run()
+    assert victim.value == 15.0
+
+
+def test_yield_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    def parent():
+        try:
+            yield sim.process(bad())
+        except RuntimeError:
+            return "rejected"
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "rejected"
+
+
+def test_run_process_convenience():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(3)
+        return "ok"
+
+    assert sim.run_process(proc()) == "ok"
+    assert sim.now == 3.0
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(4)
+
+    sim.process(proc())
+    sim.step()  # bootstrap event at t=0
+    assert sim.peek() == 4.0
+
+
+def test_many_processes_complete():
+    sim = Simulator()
+    done = []
+
+    def proc(i):
+        yield sim.timeout(i % 17)
+        done.append(i)
+
+    for i in range(500):
+        sim.process(proc(i))
+    sim.run()
+    assert len(done) == 500
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        value = yield gate
+        return (value, sim.now)
+
+    def opener():
+        yield sim.timeout(9)
+        gate.succeed("open")
+
+    w = sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert w.value == ("open", 9.0)
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        try:
+            yield gate
+        except KeyError:
+            return "failed as expected"
+
+    def failer():
+        yield sim.timeout(1)
+        gate.fail(KeyError("nope"))
+
+    w = sim.process(waiter())
+    sim.process(failer())
+    sim.run()
+    assert w.value == "failed as expected"
+
+
+def test_yield_already_processed_event_continues_immediately():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed("early")
+
+    def late_waiter():
+        yield sim.timeout(5)
+        value = yield gate  # processed long ago
+        return (value, sim.now)
+
+    w = sim.process(late_waiter())
+    sim.run()
+    assert w.value == ("early", 5.0)
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(3, value="a")
+        t2 = sim.timeout(7, value="b")
+        results = yield sim.all_of([t1, t2])
+        return (sorted(results.values()), sim.now)
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == (["a", "b"], 7.0)
+
+
+def test_any_of_returns_on_first():
+    sim = Simulator()
+
+    def proc():
+        t1 = sim.timeout(3, value="fast")
+        t2 = sim.timeout(7, value="slow")
+        results = yield sim.any_of([t1, t2])
+        return (list(results.values()), sim.now)
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == (["fast"], 3.0)
+
+
+def test_all_of_empty_is_immediate():
+    sim = Simulator()
+
+    def proc():
+        results = yield sim.all_of([])
+        return results
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == {}

@@ -1,0 +1,264 @@
+"""Tests for Resource, Store and Container."""
+
+import pytest
+
+from repro.sim import Container, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    sim.run()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert len(res.queue) == 1
+
+
+def test_resource_release_grants_next_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(tag, hold):
+        req = res.request()
+        yield req
+        order.append((tag, sim.now))
+        yield sim.timeout(hold)
+        res.release(req)
+
+    sim.process(user("a", 5))
+    sim.process(user("b", 5))
+    sim.process(user("c", 5))
+    sim.run()
+    assert order == [("a", 0.0), ("b", 5.0), ("c", 10.0)]
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_release_unheld_raises():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.request()
+    sim.run()
+    res.release(req)
+    with pytest.raises(RuntimeError):
+        res.release(req)
+
+
+def test_resource_cancel_queued_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    waiting = res.request()
+    sim.run()
+    waiting.cancel()
+    assert len(res.queue) == 0
+    res.release(holder)
+    assert res.count == 0  # cancelled request not granted
+
+
+def test_resource_cancel_held_request_releases():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    holder = res.request()
+    waiter = res.request()
+    sim.run()
+    holder.cancel()
+    assert waiter in res.users
+
+
+def test_store_put_get_fifo():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        got = []
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+        return got
+
+    sim.process(producer())
+    c = sim.process(consumer())
+    sim.run()
+    assert c.value == [0, 1, 2]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+
+    def consumer():
+        item = yield store.get()
+        return (item, sim.now)
+
+    def producer():
+        yield sim.timeout(8)
+        yield store.put("late")
+
+    c = sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert c.value == ("late", 8.0)
+
+
+def test_store_bounded_put_blocks():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+
+    def producer():
+        yield store.put("a")
+        yield store.put("b")  # must wait for a get
+        return sim.now
+
+    def consumer():
+        yield sim.timeout(6)
+        yield store.get()
+
+    p = sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert p.value == 6.0
+
+
+def test_store_filtered_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer():
+        yield store.put({"kind": "unicast"})
+        yield store.put({"kind": "multicast"})
+
+    def consumer():
+        item = yield store.get(filter=lambda w: w["kind"] == "multicast")
+        return item["kind"]
+
+    sim.process(producer())
+    c = sim.process(consumer())
+    sim.run()
+    assert c.value == "multicast"
+    assert store.items[0]["kind"] == "unicast"
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_container_get_put_levels():
+    sim = Simulator()
+    pool = Container(sim, capacity=100)
+
+    def proc():
+        yield pool.get(60)
+        assert pool.level == 40
+        pool.put(10)
+        assert pool.level == 50
+
+    sim.run_process(proc())
+
+
+def test_container_get_blocks_until_put():
+    sim = Simulator()
+    pool = Container(sim, capacity=100, init=10)
+
+    def taker():
+        yield pool.get(50)
+        return sim.now
+
+    def giver():
+        yield sim.timeout(4)
+        pool.put(90)
+
+    t = sim.process(taker())
+    sim.process(giver())
+    sim.run()
+    assert t.value == 4.0
+    assert pool.level == 50
+
+
+def test_container_fifo_no_small_bypass():
+    # A small later request must not starve an earlier large one (FIFO
+    # semantics prevent convoy reordering of buffer claims).
+    sim = Simulator()
+    pool = Container(sim, capacity=100, init=0)
+    order = []
+
+    def taker(tag, amount, delay):
+        yield sim.timeout(delay)
+        yield pool.get(amount)
+        order.append(tag)
+
+    def giver():
+        yield sim.timeout(10)
+        pool.put(30)   # not enough for 'big'
+        yield sim.timeout(10)
+        pool.put(70)   # now big fits, then small
+
+    sim.process(taker("big", 80, 0))
+    sim.process(taker("small", 10, 1))
+    sim.process(giver())
+    sim.run()
+    assert order == ["big", "small"]
+
+
+def test_container_try_get():
+    sim = Simulator()
+    pool = Container(sim, capacity=100)
+    assert pool.try_get(40)
+    assert pool.level == 60
+    assert not pool.try_get(70)
+    assert pool.level == 60
+
+
+def test_container_try_get_respects_waiters():
+    sim = Simulator()
+    pool = Container(sim, capacity=100, init=0)
+
+    def waiter():
+        yield pool.get(50)
+
+    sim.process(waiter())
+    sim.run()
+    pool.put(60)
+    # waiter got 50, level is 10; try_get beyond level fails
+    assert pool.level == 10
+    assert not pool.try_get(20)
+    assert pool.try_get(10)
+
+
+def test_container_overfull_put_raises():
+    sim = Simulator()
+    pool = Container(sim, capacity=10)
+    with pytest.raises(RuntimeError):
+        pool.put(1)
+
+
+def test_container_request_exceeding_capacity_rejected():
+    sim = Simulator()
+    pool = Container(sim, capacity=10)
+    with pytest.raises(ValueError):
+        pool.get(11)
+
+
+def test_container_cancel_waiter():
+    sim = Simulator()
+    pool = Container(sim, capacity=10, init=0)
+    get = pool.get(5)
+    get.cancel()
+    pool.put(10)
+    assert pool.level == 10
+    assert not get.triggered

@@ -1,0 +1,93 @@
+"""Tests for reproducible random streams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import RandomStreams
+
+
+def test_same_seed_same_sequence():
+    a = RandomStreams(seed=5).stream("traffic")
+    b = RandomStreams(seed=5).stream("traffic")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_names_independent():
+    streams = RandomStreams(seed=5)
+    a = streams.stream("traffic")
+    b = streams.stream("lengths")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_cached():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("x") is streams.stream("x")
+    assert streams["x"] is streams.stream("x")
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).stream("s")
+    b = RandomStreams(seed=2).stream("s")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_exponential_mean():
+    s = RandomStreams(seed=3).stream("exp")
+    n = 20000
+    mean = sum(s.exponential(400.0) for _ in range(n)) / n
+    assert mean == pytest.approx(400.0, rel=0.05)
+
+
+def test_exponential_invalid_mean():
+    s = RandomStreams(seed=3).stream("exp")
+    with pytest.raises(ValueError):
+        s.exponential(0.0)
+
+
+def test_geometric_mean_and_support():
+    s = RandomStreams(seed=4).stream("geo")
+    n = 20000
+    values = [s.geometric(400.0, minimum=8) for _ in range(n)]
+    assert min(values) >= 8
+    assert sum(values) / n == pytest.approx(400.0, rel=0.05)
+
+
+def test_geometric_invalid_mean():
+    s = RandomStreams(seed=4).stream("geo")
+    with pytest.raises(ValueError):
+        s.geometric(5.0, minimum=5)
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_bernoulli_bounds(p):
+    s = RandomStreams(seed=9).stream("b")
+    assert s.bernoulli(p) in (True, False)
+
+
+def test_bernoulli_invalid_p():
+    s = RandomStreams(seed=9).stream("b")
+    with pytest.raises(ValueError):
+        s.bernoulli(1.5)
+
+
+def test_bernoulli_frequency():
+    s = RandomStreams(seed=10).stream("b")
+    n = 20000
+    hits = sum(1 for _ in range(n) if s.bernoulli(0.1))
+    assert hits / n == pytest.approx(0.1, abs=0.01)
+
+
+def test_sample_and_choice():
+    s = RandomStreams(seed=11).stream("c")
+    population = list(range(100))
+    picked = s.sample(population, 10)
+    assert len(set(picked)) == 10
+    assert all(p in population for p in picked)
+    assert s.choice(population) in population
+
+
+def test_randint_inclusive():
+    s = RandomStreams(seed=12).stream("r")
+    values = {s.randint(3, 5) for _ in range(200)}
+    assert values == {3, 4, 5}

@@ -1,0 +1,19 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.ip_mapping
+import repro.sim.engine
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.sim.engine, repro.core.ip_mapping],
+    ids=lambda m: m.__name__,
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module}"

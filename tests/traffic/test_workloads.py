@@ -1,0 +1,132 @@
+"""Tests for the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.core import Scheme
+from repro.traffic import (
+    SchemeSetup,
+    build_engine,
+    fig10_setup,
+    fig11_setup,
+    run_load_point,
+)
+from repro.traffic.workloads import (
+    FIG10_SCHEMES,
+    FIG11_SCHEMES,
+    GroupPlan,
+    build_topology,
+)
+
+
+def test_fig10_setup_parameters_match_paper():
+    setup = fig10_setup()
+    assert setup["rows"] == 8 and setup["cols"] == 8
+    assert setup["groups"].count == 10 and setup["groups"].size == 10
+    assert setup["multicast_fraction"] == 0.1
+    assert setup["mean_length"] == 400.0
+    assert min(setup["loads"]) == 0.04 and max(setup["loads"]) == 0.12
+    assert len(setup["schemes"]) == 3
+
+
+def test_fig11_setup_parameters_match_paper():
+    setup = fig11_setup()
+    assert setup["p"] == 2 and setup["k"] == 3          # 24 nodes
+    assert setup["prop_delay"] == 1000.0
+    assert setup["groups"].count == 4 and setup["groups"].size == 6
+    assert setup["multicast_fractions"] == [0.05, 0.10, 0.15, 0.20]
+    assert len(setup["schemes"]) == 2
+
+
+def test_build_topology():
+    assert len(build_topology(fig10_setup()).hosts) == 64
+    assert len(build_topology(fig11_setup()).hosts) == 24
+    with pytest.raises(ValueError):
+        build_topology({"topology": "nope"})
+
+
+def test_build_engine_same_seed_same_groups():
+    setup = fig10_setup()
+    topo = build_topology(setup)
+    groups = GroupPlan(count=3, size=5)
+    members = []
+    for scheme in FIG10_SCHEMES[:2]:
+        _, _, engine = build_engine(topo, scheme, groups, seed=9)
+        members.append([engine.groups.group(g).members for g in engine.groups.gids])
+    assert members[0] == members[1]  # common random numbers across schemes
+
+
+def test_build_engine_different_seed_different_groups():
+    setup = fig10_setup()
+    topo = build_topology(setup)
+    groups = GroupPlan(count=3, size=5)
+    a = build_engine(topo, FIG10_SCHEMES[0], groups, seed=1)[2]
+    b = build_engine(topo, FIG10_SCHEMES[0], groups, seed=2)[2]
+    assert [a.groups.group(g).members for g in a.groups.gids] != [
+        b.groups.group(g).members for g in b.groups.gids
+    ]
+
+
+def test_run_load_point_produces_result():
+    result = run_load_point(
+        FIG10_SCHEMES[0],
+        0.04,
+        setup=fig10_setup(),
+        warmup_deliveries=20,
+        measure_deliveries=100,
+    )
+    assert result.scheme == "hamiltonian-sf"
+    assert result.offered_load == 0.04
+    assert result.deliveries >= 100
+    assert result.mean_multicast_latency > 0
+    assert not math.isnan(result.mean_multicast_latency)
+    assert result.mean_channel_utilization > 0
+    assert result.throughput_bytes_per_bytetime > 0
+
+
+def test_run_load_point_collects_ci_samples():
+    result = run_load_point(
+        FIG10_SCHEMES[0],
+        0.04,
+        setup=fig10_setup(),
+        warmup_deliveries=20,
+        measure_deliveries=200,
+        collect_samples=True,
+    )
+    assert not math.isnan(result.ci_half_width)
+    assert result.ci_half_width >= 0
+
+
+def test_run_load_point_max_time_guard():
+    """Beyond-saturation runs terminate at the time guard."""
+    result = run_load_point(
+        FIG10_SCHEMES[0],
+        0.04,
+        setup=fig10_setup(),
+        warmup_deliveries=10,
+        measure_deliveries=10**9,     # unreachable
+        max_sim_time=400_000,
+    )
+    assert result.sim_time <= 500_000
+
+
+def test_fig11_load_point_runs():
+    result = run_load_point(
+        FIG11_SCHEMES[0],
+        0.03,
+        setup=fig11_setup(),
+        multicast_fraction=0.10,
+        warmup_deliveries=20,
+        measure_deliveries=100,
+    )
+    assert result.multicast_fraction == 0.10
+    assert result.mean_multicast_latency > 1000  # prop delays dominate
+
+
+def test_tree_shape_flag_builds():
+    setup = fig10_setup()
+    topo = build_topology(setup)
+    heap_scheme = SchemeSetup("tree-heap", Scheme.TREE, tree_shape="heap")
+    _, _, engine = build_engine(topo, heap_scheme, GroupPlan(2, 5), seed=1)
+    assert len(engine.groups) == 2
