@@ -9,32 +9,23 @@ paper's qualitative shape:
   (often crossing above the tree);
 * latency rises steeply towards a (low) saturation load, a consequence of
   up/down root congestion (Section 7.1).
+
+The grid executes through :mod:`repro.sweep`'s parallel runner, so extra
+cores shorten the wall time without changing any per-point result.
 """
 
-from conftest import scaled
+from conftest import repro_scale
 
 from repro.analysis import format_results_table, series_by_scheme
-from repro.traffic import fig10_setup, run_load_point
-from repro.traffic.workloads import FIG10_SCHEMES
+from repro.sweep import records_to_results, run_sweep
+from repro.sweep.figures import fig10_spec
 
 LOADS = [0.04, 0.06, 0.08]
 
 
 def _run_sweep():
-    setup = fig10_setup()
-    results = []
-    for scheme in FIG10_SCHEMES:
-        for load in LOADS:
-            results.append(
-                run_load_point(
-                    scheme,
-                    load,
-                    setup=setup,
-                    warmup_deliveries=scaled(150),
-                    measure_deliveries=scaled(600, minimum=50),
-                )
-            )
-    return results
+    spec = fig10_spec(loads=LOADS, scale=repro_scale())
+    return records_to_results(run_sweep(spec).records)
 
 
 def test_fig10_torus_latency(benchmark):

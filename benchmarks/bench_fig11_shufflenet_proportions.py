@@ -4,12 +4,16 @@ Tree vs Hamiltonian on the bidirectional shufflenet with 1000-byte-time
 propagation delays, multicast fractions 0.05 and 0.20 (the figure's
 extremes).  Asserts the paper's shape: the Hamiltonian curve sits above
 the tree for every proportion, and delay grows with load and proportion.
+
+The grid executes through :mod:`repro.sweep`'s parallel runner, so extra
+cores shorten the wall time without changing any per-point result.
 """
 
-from conftest import scaled
+from conftest import repro_scale
 
 from repro.analysis import format_results_table
-from repro.traffic import fig11_setup, run_load_point
+from repro.sweep import records_to_results, run_sweep
+from repro.sweep.figures import fig11_spec
 from repro.traffic.workloads import FIG11_SCHEMES
 
 LOADS = [0.03, 0.05, 0.07]
@@ -17,20 +21,11 @@ FRACTIONS = [0.05, 0.20]
 
 
 def _run_sweep():
-    setup = fig11_setup()
-    results = {}
-    for fraction in FRACTIONS:
-        for scheme in FIG11_SCHEMES:
-            for load in LOADS:
-                results[(fraction, scheme.name, load)] = run_load_point(
-                    scheme,
-                    load,
-                    setup=setup,
-                    multicast_fraction=fraction,
-                    warmup_deliveries=scaled(100),
-                    measure_deliveries=scaled(400, minimum=50),
-                )
-    return results
+    spec = fig11_spec(loads=LOADS, fractions=FRACTIONS, scale=repro_scale())
+    return {
+        (r.multicast_fraction, r.scheme, r.offered_load): r
+        for r in records_to_results(run_sweep(spec).records)
+    }
 
 
 def test_fig11_shufflenet_proportions(benchmark):

@@ -9,22 +9,18 @@ and >80 Mb/s at 8 KB for the single sender, all-send below single.
 from conftest import repro_scale
 
 from repro.analysis import format_table
-from repro.myrinet import run_throughput_experiment
+from repro.sweep import records_to_testbed_results, run_sweep
+from repro.sweep.figures import fig12_spec
 
 SIZES = [1024, 2048, 4096, 6144, 8192]
 
 
 def _run_curves():
-    measure_us = 300_000.0 * max(0.2, repro_scale())
-    curves = {}
-    for size in SIZES:
-        curves[(size, "single")] = run_throughput_experiment(
-            size, all_send=False, measure_us=measure_us
-        )
-        curves[(size, "all")] = run_throughput_experiment(
-            size, all_send=True, measure_us=measure_us
-        )
-    return curves
+    spec = fig12_spec(sizes=SIZES, scale=repro_scale())
+    return {
+        (r.packet_size, "all" if r.all_send else "single"): r
+        for r in records_to_testbed_results(run_sweep(spec).records)
+    }
 
 
 def test_fig12_throughput(benchmark):

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Record a perf-trajectory snapshot in ``BENCH_sweep.json``.
+
+Runs the kernel events/sec microbenchmarks plus a reduced Figure 10 sweep
+and appends one machine-readable entry per workload, so the repo carries
+its own performance history from commit to commit::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py [--scale 0.5] [--label msg]
+
+Entries land in ``{"entries": [...]}`` (see
+:func:`repro.sweep.runner.append_trajectory`); each has a timestamp, the
+workload label, and either ``events_per_second`` (kernel) or the sweep's
+wall-time/points-per-second footprint.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from bench_kernel_events import (  # noqa: E402
+    _contended_grants,
+    _timeout_churn,
+    _uncontended_grants,
+)
+
+from repro.sweep import append_trajectory, run_sweep  # noqa: E402
+from repro.sweep.cache import code_fingerprint  # noqa: E402
+from repro.sweep.figures import fig10_spec  # noqa: E402
+
+KERNEL_WORKLOADS = [
+    ("kernel_timeout_churn", lambda: _timeout_churn(20, 2000)),
+    ("kernel_uncontended_grants", lambda: _uncontended_grants(8, 5000)),
+    ("kernel_contended_grants", lambda: _contended_grants(50, 10, 400)),
+]
+
+
+def _events_per_second(fn, repeats: int = 5) -> tuple:
+    """Best-of-N events/sec (min wall time resists scheduler noise)."""
+    times = []
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events = fn()
+        times.append(time.perf_counter() - start)
+    return events, events / min(times), events / statistics.median(times)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=ROOT / "BENCH_sweep.json",
+        help="trajectory file (default BENCH_sweep.json at the repo root)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5,
+        help="sweep effort multiplier (default 0.5: quick but stable)",
+    )
+    parser.add_argument(
+        "--label", default=None,
+        help="optional note stored with every entry (e.g. a commit subject)",
+    )
+    parser.add_argument(
+        "--skip-sweep", action="store_true",
+        help="record only the kernel microbenchmarks",
+    )
+    args = parser.parse_args(argv)
+
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    code = code_fingerprint()[:12]
+
+    for name, fn in KERNEL_WORKLOADS:
+        events, best, median = _events_per_second(fn)
+        entry = {
+            "timestamp": stamp,
+            "label": name,
+            "kind": "kernel_microbench",
+            "events": events,
+            "events_per_second": round(best),
+            "events_per_second_median": round(median),
+            "code": code,
+        }
+        if args.label:
+            entry["note"] = args.label
+        append_trajectory(args.out, entry)
+        print(f"{name}: {round(best):,} events/s (median {round(median):,})")
+
+    if not args.skip_sweep:
+        spec = fig10_spec(loads=[0.04, 0.06, 0.08], scale=args.scale)
+        outcome = run_sweep(spec)
+        entry = outcome.bench_entry(
+            label="fig10_sweep", scale=args.scale, code=code
+        )
+        if args.label:
+            entry["note"] = args.label
+        append_trajectory(args.out, entry)
+        print(
+            f"fig10_sweep: {len(outcome.records)} points in "
+            f"{outcome.wall_time:.2f}s ({outcome.points_per_second:.2f} pts/s, "
+            f"{outcome.workers} workers)"
+        )
+
+    print(f"trajectory appended to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,8 +51,25 @@ class UpDownRouting:
         self.level: Dict[int, int] = {}
         self.parent: Dict[int, Optional[int]] = {}
         self._tree_links: Set[int] = set()
+        # Sorted adjacency, computed once: the route BFS visits every node's
+        # neighbor list in deterministic id order, and re-sorting a freshly
+        # built list per visit dominated route-computation time.
+        self._sorted_neighbors: Dict[int, List[Tuple[int, Link]]] = {
+            node.id: sorted(topology.neighbors(node.id), key=lambda pair: pair[0])
+            for node in topology.nodes
+        }
         self._build_tree()
-        self._route_cache: Dict[Tuple[int, int], List[Hop]] = {}
+        # Per-edge search metadata: (peer, link, up_hop, crosslink), in
+        # deterministic id order.  Folding is_up/is_crosslink into the
+        # adjacency list keeps the BFS inner loop free of dict lookups.
+        self._search_adj: Dict[int, List[Tuple[int, Link, bool, bool]]] = {
+            nid: [
+                (peer, link, self.is_up(nid, peer), link.id not in self._tree_links)
+                for peer, link in pairs
+            ]
+            for nid, pairs in self._sorted_neighbors.items()
+        }
+        self._route_cache: Dict[Tuple[int, int, bool], Tuple[Hop, ...]] = {}
 
     # -- spanning tree --------------------------------------------------------
     def _build_tree(self) -> None:
@@ -62,9 +79,7 @@ class UpDownRouting:
         frontier = deque([self.root])
         while frontier:
             nid = frontier.popleft()
-            for peer, link in sorted(
-                self.topology.neighbors(nid), key=lambda pair: pair[0]
-            ):
+            for peer, link in self._sorted_neighbors[nid]:
                 if peer in self.level:
                     continue
                 self.level[peer] = self.level[nid] + 1
@@ -104,17 +119,29 @@ class UpDownRouting:
         Section 3 scheme that forbids crosslinks for deadlock-free
         switch-level multicast).
         """
+        return list(self.route_shared(src, dst, restrict_to_tree))
+
+    def route_shared(
+        self, src: int, dst: int, restrict_to_tree: bool = False
+    ) -> Tuple[Hop, ...]:
+        """Memoized route as a shared immutable tuple (no per-call copy).
+
+        The hot paths (worm injection, flit-level sends) call this once per
+        worm; :meth:`route` wraps it with a defensive copy for callers that
+        want a mutable list.
+        """
         if src == dst:
-            return []
+            return ()
         key = (src, dst, restrict_to_tree)
         cached = self._route_cache.get(key)
         if cached is not None:
-            return list(cached)
+            return cached
         hops = self._search(src, dst, restrict_to_tree)
         if hops is None:
             raise ValueError(f"no legal up/down route from {src} to {dst}")
-        self._route_cache[key] = hops
-        return list(hops)
+        result = tuple(hops)
+        self._route_cache[key] = result
+        return result
 
     def _search(
         self, src: int, dst: int, restrict_to_tree: bool
@@ -125,14 +152,12 @@ class UpDownRouting:
         seen = {start}
         frontier = deque([start])
         goal: Optional[Tuple[int, int]] = None
+        search_adj = self._search_adj
         while frontier and goal is None:
             node, phase = frontier.popleft()
-            for peer, link in sorted(
-                self.topology.neighbors(node), key=lambda pair: pair[0]
-            ):
-                if restrict_to_tree and self.is_crosslink(link):
+            for peer, link, up_hop, crosslink in search_adj[node]:
+                if restrict_to_tree and crosslink:
                     continue
-                up_hop = self.is_up(node, peer)
                 if phase == _DOWN and up_hop:
                     continue  # down -> up transitions are illegal
                 state = (peer, _UP if up_hop else _DOWN)
@@ -174,14 +199,12 @@ class UpDownRouting:
         seen = {start}
         frontier = deque([start])
         found: Dict[int, Tuple[int, int]] = {}
+        search_adj = self._search_adj
         while frontier and len(found) < len(targets):
             node, phase = frontier.popleft()
-            for peer, link in sorted(
-                self.topology.neighbors(node), key=lambda pair: pair[0]
-            ):
-                if restrict_to_tree and self.is_crosslink(link):
+            for peer, link, up_hop, crosslink in search_adj[node]:
+                if restrict_to_tree and crosslink:
                     continue
-                up_hop = self.is_up(node, peer)
                 if phase == _DOWN and up_hop:
                     continue
                 state = (peer, _UP if up_hop else _DOWN)
@@ -208,14 +231,14 @@ class UpDownRouting:
 
     def route_nodes(self, src: int, dst: int, restrict_to_tree: bool = False) -> List[int]:
         """The node sequence of :meth:`route`, including endpoints."""
-        hops = self.route(src, dst, restrict_to_tree)
+        hops = self.route_shared(src, dst, restrict_to_tree)
         if not hops:
             return [src]
         return [hops[0][0]] + [hop[1] for hop in hops]
 
     def hop_count(self, src: int, dst: int) -> int:
         """Length (in hops) of the legal route between two nodes."""
-        return len(self.route(src, dst))
+        return len(self.route_shared(src, dst))
 
     def is_legal(self, nodes: Sequence[int]) -> bool:
         """Check that a node path obeys the up*/down* rule and uses real links."""

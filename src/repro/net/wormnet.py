@@ -197,6 +197,20 @@ class WormholeNetwork:
         for link in topology.links:
             self._channels[(link.a, link.b)] = Channel(sim, link, link.a, link.b)
             self._channels[(link.b, link.a)] = Channel(sim, link, link.b, link.a)
+        # The channel population is fixed for the network's lifetime: cache
+        # the list view and the switch-to-switch subset (mean_utilization is
+        # called per measurement point, and `channels` sits in test/benchmark
+        # inner loops).
+        self._channel_list: List[Channel] = list(self._channels.values())
+        self._switch_channels: List[Channel] = [
+            ch
+            for ch in self._channel_list
+            if topology.node(ch.src).is_switch and topology.node(ch.dst).is_switch
+        ]
+        #: Per-(src, dst) memo of the channel sequence of the legal route;
+        #: worms between the same host pair re-use it without re-walking the
+        #: routing tables (restrict_to_tree is fixed per network).
+        self._route_channel_cache: Dict[Tuple[int, int], Tuple[Channel, ...]] = {}
         self._receivers: Dict[int, ReceiverFn] = {}
         self._head_watchers: Dict[int, ReceiverFn] = {}
         # Network-wide statistics.
@@ -216,7 +230,8 @@ class WormholeNetwork:
 
     @property
     def channels(self) -> List[Channel]:
-        return list(self._channels.values())
+        """All directed channels (cached; treat as read-only)."""
+        return self._channel_list
 
     def set_receiver(self, host: int, fn: ReceiverFn) -> None:
         """Register the adapter callback for worms fully received at ``host``."""
@@ -231,10 +246,19 @@ class WormholeNetwork:
         """The host's outgoing adapter channel (one worm at a time)."""
         return self.channel(host, self.topology.host_switch(host))
 
-    def route_channels(self, src_host: int, dst_host: int) -> List[Channel]:
-        """The directed channels of the legal route between two hosts."""
-        hops = self.routing.route(src_host, dst_host, self.restrict_to_tree)
-        return [self.channel(a, b) for a, b, _ in hops]
+    def route_channels(self, src_host: int, dst_host: int) -> Tuple[Channel, ...]:
+        """The directed channels of the legal route between two hosts.
+
+        Memoized per (src, dst): the returned tuple is shared across calls.
+        """
+        key = (src_host, dst_host)
+        cached = self._route_channel_cache.get(key)
+        if cached is not None:
+            return cached
+        hops = self.routing.route_shared(src_host, dst_host, self.restrict_to_tree)
+        channels = tuple(self.channel(a, b) for a, b, _ in hops)
+        self._route_channel_cache[key] = channels
+        return channels
 
     # -- sending -------------------------------------------------------------
     def send(self, worm: Worm) -> Transfer:
@@ -251,7 +275,7 @@ class WormholeNetwork:
         )
         return transfer
 
-    def _run(self, transfer: Transfer, channels: List[Channel]):
+    def _run(self, transfer: Transfer, channels: Tuple[Channel, ...]):
         sim = self.sim
         worm = transfer.worm
         drop_after = None
@@ -319,7 +343,7 @@ class WormholeNetwork:
         length = transfer.worm.length
         stall_at_schedule = transfer.blocked_time
 
-        def fire(_event: Event) -> None:
+        def fire() -> None:
             stall = transfer.blocked_time
             if transfer._blocked_since is not None:
                 stall += sim.now - transfer._blocked_since
@@ -327,11 +351,9 @@ class WormholeNetwork:
             if sim.now >= target - 1e-9:
                 channel.release(request, sim.now)
             else:
-                retry = sim.timeout(target - sim.now)
-                retry.callbacks.append(fire)
+                sim.schedule_call(target - sim.now, fire)
 
-        timeout = sim.timeout(length)
-        timeout.callbacks.append(fire)
+        sim.schedule_call(length, fire)
 
     # -- statistics ------------------------------------------------------------
     def reset_stats(self) -> None:
@@ -348,10 +370,5 @@ class WormholeNetwork:
     def mean_utilization(self) -> float:
         """Average channel utilization across switch-to-switch channels."""
         now = self.sim.now
-        values = [
-            ch.utilization(now)
-            for ch in self._channels.values()
-            if self.topology.node(ch.src).is_switch
-            and self.topology.node(ch.dst).is_switch
-        ]
+        values = [ch.utilization(now) for ch in self._switch_channels]
         return sum(values) / len(values) if values else 0.0

@@ -30,6 +30,7 @@ from repro.sim.process import Process
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.monitor import Histogram, RateMeter, TallyStat, TimeWeightedStat
 from repro.sim.rng import RandomStreams
+from repro.sim.trace import SimTrace
 
 __all__ = [
     "AllOf",
@@ -42,6 +43,7 @@ __all__ = [
     "RandomStreams",
     "RateMeter",
     "Resource",
+    "SimTrace",
     "Simulator",
     "Store",
     "TallyStat",

@@ -86,6 +86,27 @@ class Event:
         self.sim._schedule(self, 0.0, priority)
         return self
 
+    def _succeed_immediately(self, value: Any = None) -> "Event":
+        """Fast-path succeed: trigger *and* process in place, skipping the
+        event queue entirely.
+
+        Only valid for an event nobody has subscribed to yet (freshly
+        created, empty callback list): there is no callback to run, so the
+        queue round-trip of :meth:`succeed` buys nothing.  A process that
+        later yields the event resumes synchronously (the processed-event
+        path in :meth:`Process._resume`).  Used for uncontended resource
+        grants, the dominant case on the worm hot path.
+        """
+        if self._state != PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if self.callbacks:
+            raise RuntimeError("cannot fast-path an event with subscribers")
+        self._ok = True
+        self._value = value
+        self._state = PROCESSED
+        self.callbacks = None
+        return self
+
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another event (chaining)."""
         if event._ok:

@@ -49,6 +49,9 @@ class Process(Event):
     # -- engine hooks ------------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value (or exception) of ``event``."""
+        trace = self.sim._trace
+        if trace is not None:
+            trace._wakeup(self.name)
         self.sim._active_process = self
         while True:
             try:

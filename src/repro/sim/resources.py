@@ -68,7 +68,10 @@ class Resource:
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self.capacity:
             self.users.append(request)
-            request.succeed(request)
+            # Uncontended grant: no waiter can be subscribed yet (the request
+            # object is still being constructed), so skip the event-queue
+            # round-trip — the requester resumes synchronously on yield.
+            request._succeed_immediately(request)
         else:
             self.queue.append(request)
 

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.sweep``."""
+
+import sys
+
+from repro.sweep.cli import main
+
+sys.exit(main())

@@ -1,0 +1,113 @@
+"""Sweep specifications for the paper's figures.
+
+Each builder returns the :class:`~repro.sweep.spec.SweepSpec` that
+reproduces one figure's parameter grid; the benchmarks and the
+``python -m repro.sweep`` CLI share these so there is exactly one
+definition of every figure's sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.sweep.spec import SweepSpec
+
+#: Full figure grids (the reduced benchmark grids pass ``loads=`` etc.).
+FIG10_LOADS = [0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10, 0.11, 0.12]
+FIG10_SCHEME_NAMES = ["hamiltonian-sf", "hamiltonian-ct", "tree-sf"]
+FIG11_LOADS = [0.03, 0.04, 0.05, 0.06, 0.07]
+FIG11_FRACTIONS = [0.05, 0.10, 0.15, 0.20]
+FIG11_SCHEME_NAMES = ["tree", "hamiltonian"]
+FIG12_SIZES = [1024, 2048, 4096, 6144, 8192]
+
+
+def scaled(base: int, scale: float = 1.0, minimum: int = 20) -> int:
+    """Scale an effort knob by REPRO_SCALE-style factor with a floor."""
+    return max(minimum, int(base * scale))
+
+
+def fig10_spec(
+    loads: Optional[Sequence[float]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> SweepSpec:
+    """Figure 10: three schemes over offered load on the 8x8 torus."""
+    return SweepSpec(
+        kind="load_point",
+        grid={
+            "scheme": list(schemes or FIG10_SCHEME_NAMES),
+            "load": list(loads or FIG10_LOADS),
+        },
+        base={
+            "topology": "torus",
+            "rows": 8,
+            "cols": 8,
+            "group_count": 10,
+            "group_size": 10,
+            "multicast_fraction": 0.1,
+            "mean_length": 400.0,
+            "warmup_deliveries": scaled(150, scale),
+            "measure_deliveries": scaled(600, scale, minimum=50),
+        },
+        base_seed=seed,
+    )
+
+
+def fig11_spec(
+    loads: Optional[Sequence[float]] = None,
+    fractions: Optional[Sequence[float]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> SweepSpec:
+    """Figure 11: multicast proportions on the 24-node shufflenet."""
+    return SweepSpec(
+        kind="load_point",
+        grid={
+            "multicast_fraction": list(fractions or FIG11_FRACTIONS),
+            "scheme": list(schemes or FIG11_SCHEME_NAMES),
+            "load": list(loads or FIG11_LOADS),
+        },
+        base={
+            "topology": "bidirectional_shufflenet",
+            "p": 2,
+            "k": 3,
+            "prop_delay": 1000.0,
+            "group_count": 4,
+            "group_size": 6,
+            "mean_length": 400.0,
+            "warmup_deliveries": scaled(100, scale),
+            "measure_deliveries": scaled(400, scale, minimum=50),
+        },
+        base_seed=seed,
+    )
+
+
+def fig12_spec(
+    sizes: Optional[Sequence[int]] = None,
+    scale: float = 1.0,
+) -> SweepSpec:
+    """Figures 12/13: testbed throughput+loss over packet size and senders.
+
+    One spec covers both figures: every point records throughput *and*
+    loss, Figure 12 reads the former and Figure 13 the latter.
+    """
+    return SweepSpec(
+        kind="myrinet_throughput",
+        grid={
+            "packet_size": list(sizes or FIG12_SIZES),
+            "all_send": [False, True],
+        },
+        base={
+            "measure_us": 300_000.0 * max(0.2, scale),
+        },
+    )
+
+
+FIGURE_SPECS = {
+    "fig10": fig10_spec,
+    "fig11": fig11_spec,
+    "fig12": fig12_spec,
+    "fig13": fig12_spec,  # same sweep; Figure 13 reads the loss column
+}

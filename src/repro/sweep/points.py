@@ -1,0 +1,127 @@
+"""Point executors: the functions a sweep fans out across workers.
+
+Executors are registered by name and take/return plain JSON-serializable
+dicts, which keeps sweep points picklable for ``multiprocessing`` and
+hashable for the on-disk result cache.  Two kinds cover the paper's
+figures:
+
+* ``load_point`` -- one (scheme, load) steady-state measurement on the
+  worm-level network (Figures 10 and 11; any topology the workload layer
+  can build).
+* ``myrinet_throughput`` -- one (packet size, sender pattern) point on the
+  Myrinet testbed model (Figures 12 and 13).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Dict
+
+PointFn = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+def sanitize_record(obj: Any) -> Any:
+    """Canonicalize a record to its strict-JSON form.
+
+    NaN becomes None (NaN breaks strict JSON and equality — ``nan != nan``
+    would make byte-identical runs look different), tuples become lists,
+    and dict keys become strings, so a record compares equal whether it
+    came straight from an executor or round-tripped through the on-disk
+    cache.  The ``records_to_*`` helpers in :mod:`repro.sweep.runner`
+    restore native types on rehydration.
+    """
+    if isinstance(obj, float) and math.isnan(obj):
+        return None
+    if isinstance(obj, dict):
+        return {str(key): sanitize_record(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize_record(value) for value in obj]
+    return obj
+
+
+POINT_KINDS: Dict[str, PointFn] = {}
+
+
+def point_kind(name: str) -> Callable[[PointFn], PointFn]:
+    """Register an executor under ``name``."""
+
+    def register(fn: PointFn) -> PointFn:
+        if name in POINT_KINDS:
+            raise ValueError(f"point kind {name!r} already registered")
+        POINT_KINDS[name] = fn
+        return fn
+
+    return register
+
+
+def execute_point(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one point; the module-level entry used by pool workers."""
+    try:
+        fn = POINT_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown point kind {kind!r}; known: {sorted(POINT_KINDS)}"
+        ) from None
+    return fn(params)
+
+
+@point_kind("load_point")
+def _load_point(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One steady-state (scheme, load) measurement.
+
+    Required params: ``topology`` (plus its shape parameters), ``scheme``
+    (a name from :data:`repro.traffic.workloads.SCHEMES_BY_NAME`), ``load``.
+    Optional: ``multicast_fraction``, ``mean_length``, ``group_count``,
+    ``group_size``, ``warmup_deliveries``, ``measure_deliveries``,
+    ``max_sim_time``, ``seed``.
+    """
+    from repro.traffic.workloads import (
+        GroupPlan,
+        run_load_point,
+        scheme_by_name,
+    )
+
+    setup = {
+        "topology": params["topology"],
+        "groups": GroupPlan(
+            count=int(params.get("group_count", 10)),
+            size=int(params.get("group_size", 10)),
+        ),
+        "mean_length": float(params.get("mean_length", 400.0)),
+        "multicast_fraction": float(params.get("multicast_fraction", 0.1)),
+    }
+    for key in ("rows", "cols", "p", "k", "prop_delay"):
+        if key in params:
+            setup[key] = params[key]
+
+    result = run_load_point(
+        scheme_by_name(params["scheme"]),
+        float(params["load"]),
+        setup=setup,
+        multicast_fraction=float(params.get("multicast_fraction", 0.1)),
+        seed=int(params.get("seed", 1)),
+        warmup_deliveries=int(params.get("warmup_deliveries", 300)),
+        measure_deliveries=int(params.get("measure_deliveries", 2000)),
+        max_sim_time=float(params.get("max_sim_time", 5e7)),
+    )
+    return sanitize_record(dataclasses.asdict(result))
+
+
+@point_kind("myrinet_throughput")
+def _myrinet_throughput(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One Myrinet testbed point (Figures 12/13).
+
+    Required params: ``packet_size``.  Optional: ``all_send``, ``n_hosts``,
+    ``warmup_us``, ``measure_us``.
+    """
+    from repro.myrinet import run_throughput_experiment
+
+    result = run_throughput_experiment(
+        int(params["packet_size"]),
+        all_send=bool(params.get("all_send", False)),
+        n_hosts=int(params.get("n_hosts", 8)),
+        warmup_us=float(params.get("warmup_us", 50_000.0)),
+        measure_us=float(params.get("measure_us", 500_000.0)),
+    )
+    return sanitize_record(dataclasses.asdict(result))

@@ -61,6 +61,20 @@ FIG11_SCHEMES = [
     SchemeSetup("hamiltonian", Scheme.HAMILTONIAN, cut_through=False),
 ]
 
+#: Every named scheme variant (sweep points reference schemes by name so
+#: that point parameters stay picklable / JSON-serializable).
+SCHEMES_BY_NAME = {s.name: s for s in (*FIG10_SCHEMES, *FIG11_SCHEMES)}
+
+
+def scheme_by_name(name: str) -> SchemeSetup:
+    """Resolve a scheme variant by its registered name."""
+    try:
+        return SCHEMES_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: {sorted(SCHEMES_BY_NAME)}"
+        ) from None
+
 
 @dataclass
 class GroupPlan:
@@ -129,11 +143,36 @@ def build_topology(setup: dict) -> Topology:
     raise ValueError(f"unknown topology {setup['topology']!r}")
 
 
+#: Keys of ``setup`` that determine the topology (and hence the routing).
+_TOPOLOGY_KEYS = ("topology", "rows", "cols", "p", "k", "prop_delay")
+
+_shared_cache: Dict[tuple, tuple] = {}
+
+
+def shared_topology(setup: dict) -> tuple:
+    """Memoized ``(Topology, UpDownRouting)`` for a setup, per process.
+
+    Both objects are effectively immutable once built (the routing's
+    internal route cache only ever adds deterministic entries), so load
+    points of a sweep can share them instead of re-running the spanning
+    tree + all-pairs BFS per point.  Results are byte-identical to a fresh
+    build because routes are deterministic.
+    """
+    key = tuple((k, setup.get(k)) for k in _TOPOLOGY_KEYS)
+    cached = _shared_cache.get(key)
+    if cached is None:
+        topology = build_topology(setup)
+        cached = (topology, UpDownRouting(topology))
+        _shared_cache[key] = cached
+    return cached
+
+
 def build_engine(
     topology: Topology,
     scheme_setup: SchemeSetup,
     groups: GroupPlan,
     seed: int = 1,
+    routing: Optional[UpDownRouting] = None,
 ) -> tuple:
     """Wire up simulator, network, engine and groups for one run.
 
@@ -141,7 +180,7 @@ def build_engine(
     same seed multicast over identical groups (common random numbers).
     """
     sim = Simulator()
-    routing = UpDownRouting(topology)
+    routing = routing or UpDownRouting(topology)
     net = WormholeNetwork(sim, topology, routing=routing)
     rng = RandomStreams(seed=seed)
     engine = MulticastEngine(sim, net, scheme_setup.adapter_config(), rng=rng)
@@ -185,8 +224,10 @@ def run_load_point(
         if multicast_fraction is not None
         else setup["multicast_fraction"]
     )
-    topology = build_topology(setup)
-    sim, net, engine = build_engine(topology, scheme_setup, setup["groups"], seed)
+    topology, routing = shared_topology(setup)
+    sim, net, engine = build_engine(
+        topology, scheme_setup, setup["groups"], seed, routing=routing
+    )
     traffic = TrafficGenerator(
         sim,
         engine,

@@ -1,0 +1,1 @@
+"""Tests for the parallel sweep subsystem (:mod:`repro.sweep`)."""

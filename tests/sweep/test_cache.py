@@ -1,0 +1,77 @@
+"""On-disk result cache tests: keying, round trips, invalidation."""
+
+import json
+
+from repro.sweep import SweepCache, SweepSpec, code_fingerprint, run_sweep
+
+SMALL_TESTBED = dict(
+    kind="myrinet_throughput",
+    grid={"packet_size": [1024], "all_send": [False, True]},
+    base={"warmup_us": 5_000.0, "measure_us": 20_000.0},
+)
+
+
+def test_cache_round_trip_is_identical(tmp_path):
+    spec = SweepSpec(**SMALL_TESTBED)
+    cache = SweepCache(tmp_path)
+    first = run_sweep(spec, jobs=1, cache=cache)
+    assert (first.executed, first.cached) == (2, 0)
+    second = run_sweep(spec, jobs=1, cache=cache)
+    assert (second.executed, second.cached) == (0, 2)
+    assert second.records == first.records
+
+
+def test_cache_counts_hits_and_misses(tmp_path):
+    spec = SweepSpec(**SMALL_TESTBED)
+    cache = SweepCache(tmp_path)
+    run_sweep(spec, jobs=1, cache=cache)
+    assert cache.misses == 2
+    run_sweep(spec, jobs=1, cache=cache)
+    assert cache.hits == 2
+
+
+def test_code_change_invalidates(tmp_path):
+    spec = SweepSpec(**SMALL_TESTBED)
+    point = spec.points()[0]
+    old = SweepCache(tmp_path, code_hash="old-code")
+    old.put(point, {"x": 1})
+    new = SweepCache(tmp_path, code_hash="new-code")
+    assert new.get(point) is None
+    assert old.get(point) == {"x": 1}
+
+
+def test_seed_participates_in_key(tmp_path):
+    base = SweepSpec(**SMALL_TESTBED)
+    other = SweepSpec(**{**SMALL_TESTBED, "base_seed": 2})
+    cache = SweepCache(tmp_path, code_hash="c")
+    assert cache.key(base.points()[0]) != cache.key(other.points()[0])
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    spec = SweepSpec(**SMALL_TESTBED)
+    point = spec.points()[0]
+    cache = SweepCache(tmp_path, code_hash="c")
+    cache.put(point, {"x": 1})
+    path = cache._path(cache.key(point))
+    path.write_text("{not json")
+    assert cache.get(point) is None
+
+
+def test_entries_are_sharded_json_files(tmp_path):
+    spec = SweepSpec(**SMALL_TESTBED)
+    point = spec.points()[0]
+    cache = SweepCache(tmp_path, code_hash="c")
+    cache.put(point, {"x": 1})
+    key = cache.key(point)
+    path = tmp_path / key[:2] / f"{key}.json"
+    assert path.is_file()
+    payload = json.loads(path.read_text())
+    assert payload["record"] == {"x": 1}
+    assert payload["code"] == "c"
+
+
+def test_code_fingerprint_is_stable_and_hex():
+    first = code_fingerprint()
+    assert first == code_fingerprint()
+    assert len(first) == 64
+    int(first, 16)

@@ -1,0 +1,50 @@
+"""CLI smoke tests for ``python -m repro.sweep``."""
+
+import json
+
+import pytest
+
+from repro.sweep.cli import build_parser, main
+
+
+def test_dry_run_lists_points(capsys):
+    assert main(["--figure", "fig10", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "27 points" in out  # 3 schemes x 9 loads
+    assert out.count("seed=") == 27
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--figure", "fig99"])
+
+
+def test_figure_is_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_end_to_end_writes_records_and_trajectory(tmp_path, capsys):
+    out = tmp_path / "fig12.json"
+    bench = tmp_path / "BENCH_cli.json"
+    rc = main(
+        [
+            "--figure",
+            "fig12",
+            "--scale",
+            "0.01",  # floors to the minimum measurement window
+            "--jobs",
+            "2",
+            "--out",
+            str(out),
+            "--bench-out",
+            str(bench),
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert len(payload["results"]) == 10
+    assert payload["meta"]["figure"] == "fig12"
+    trajectory = json.loads(bench.read_text())
+    assert trajectory["entries"][0]["label"] == "fig12"
+    assert trajectory["entries"][0]["points"] == 10
