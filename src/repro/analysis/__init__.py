@@ -1,6 +1,10 @@
 """Result formatting and output analysis shared by examples and benches."""
 
 from repro.analysis.ascii_chart import ascii_chart
+from repro.analysis.availability import (
+    format_availability_table,
+    format_repair_table,
+)
 from repro.analysis.persistence import load_meta, load_results, save_results
 from repro.analysis.results import (
     crossover_point,
@@ -12,6 +16,8 @@ from repro.analysis.results import (
 __all__ = [
     "ascii_chart",
     "crossover_point",
+    "format_availability_table",
+    "format_repair_table",
     "format_results_table",
     "format_table",
     "load_meta",

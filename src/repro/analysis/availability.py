@@ -1,0 +1,75 @@
+"""Tables for fault-campaign records (the robustness experiments).
+
+The campaign runners in :mod:`repro.faults.campaign` return plain dict
+records; these formatters turn a list of them into the aligned ASCII
+tables the CLI and examples print.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+from repro.analysis.results import format_table
+
+
+def format_availability_table(records: Sequence[Dict[str, Any]]) -> str:
+    """One row per fault-campaign point: degradation vs injected faults."""
+    headers = [
+        "load",
+        "failures",
+        "delivery",
+        "orphaned",
+        "reconfigs",
+        "reconv(mean)",
+        "reconv(max)",
+        "deadlock-free",
+    ]
+    rows = []
+    for record in records:
+        params = record.get("params", {})
+        metrics = record.get("metrics", {})
+        deadlock_free = record.get("deadlock_free")
+        rows.append(
+            [
+                f"{params.get('load', 0.0):.3f}",
+                params.get("link_failures", 0),
+                f"{metrics.get('delivery_ratio', 1.0):.4f}",
+                metrics.get("orphaned_worms", 0),
+                metrics.get("reconfigurations", 0),
+                f"{metrics.get('mean_reconvergence_time', 0.0):.0f}",
+                f"{metrics.get('max_reconvergence_time', 0.0):.0f}",
+                "-" if deadlock_free is None else ("yes" if deadlock_free else "NO"),
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def format_repair_table(records: Sequence[Dict[str, Any]]) -> str:
+    """One row per repair-campaign point: recovery completeness and cost."""
+    headers = [
+        "drops",
+        "recv_faults",
+        "losses",
+        "recovered",
+        "requests",
+        "damped",
+        "repairs",
+        "overhead",
+    ]
+    rows = []
+    for record in records:
+        params = record.get("params", {})
+        overhead = (record.get("metrics") or {}).get("repair_overhead") or {}
+        rows.append(
+            [
+                params.get("drops", 0),
+                params.get("recv_faults", 0),
+                record.get("losses_injected", 0),
+                "all" if record.get("recovered_all") else "PARTIAL",
+                overhead.get("requests_sent", 0),
+                overhead.get("requests_damped", 0),
+                overhead.get("repairs_sent", 0),
+                f"{overhead.get('overhead_ratio', 0.0):.4f}",
+            ]
+        )
+    return format_table(headers, rows)

@@ -258,6 +258,8 @@ class MulticastEngine:
         self.nacks = 0
         self.retries = 0
         self.confirm_retransmissions = 0
+        self.group_repairs = 0
+        self.groups_dissolved = 0
         #: Optional observer called as fn(host, worm, message, time) on
         #: every local multicast delivery (the ordering checker hooks here).
         self.delivery_observer: Optional[Callable] = None
@@ -329,6 +331,37 @@ class MulticastEngine:
         except KeyError:
             raise KeyError(f"no group {gid}") from None
 
+    def handle_host_failure(self, host: int) -> Dict[str, List[int]]:
+        """Repair every group structure after ``host`` crashed.
+
+        The membership service's reaction to a host death: the host is
+        spliced out of each group it belongs to (circuit successor /
+        tree-parent maps are repaired in place), and groups that would
+        degenerate below two members are dissolved.  Returns the affected
+        gids as ``{"repaired": [...], "dissolved": [...]}``.  In-flight
+        messages that expected the dead host never complete -- that loss is
+        visible in the completion statistics.
+        """
+        repaired: List[int] = []
+        dissolved: List[int] = []
+        for gid in list(self._states):
+            state = self._states[gid]
+            if host not in state.group.members:
+                continue
+            if len(state.group.members) <= 2:
+                self.groups.remove(gid)
+                del self._states[gid]
+                self.credit_controllers.pop(gid, None)
+                dissolved.append(gid)
+                continue
+            state.group.remove_member(host)
+            if state.structure is not None:
+                state.structure.remove_member(host)
+            repaired.append(gid)
+        self.group_repairs += len(repaired)
+        self.groups_dissolved += len(dissolved)
+        return {"repaired": repaired, "dissolved": dissolved}
+
     def adapter(self, host: int) -> "HostAdapter":
         return self.adapters[host]
 
@@ -396,6 +429,8 @@ class MulticastEngine:
         self.nacks = 0
         self.retries = 0
         self.confirm_retransmissions = 0
+        self.group_repairs = 0
+        self.groups_dissolved = 0
 
 
 class HostAdapter:

@@ -52,6 +52,20 @@ class MulticastGroup:
         except ValueError:
             raise ValueError(f"host {host} is not in group {self.gid}") from None
 
+    def remove_member(self, host: int) -> None:
+        """Drop a (dead) host from the group.
+
+        A group may shrink to a single member through failures; callers
+        (e.g. :meth:`repro.core.adapters.MulticastEngine.handle_host_failure`)
+        decide whether such a group is dissolved.
+        """
+        try:
+            self.members.remove(host)
+        except ValueError:
+            raise ValueError(f"host {host} is not in group {self.gid}") from None
+        if not self.members:
+            raise ValueError(f"cannot remove the last member of group {self.gid}")
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Group {self.gid}: {self.members}>"
 

@@ -132,6 +132,25 @@ class HamiltonianCircuit:
             if self.sequence[(i + 1) % self.size] < host
         )
 
+    def remove_member(self, host: int) -> None:
+        """Splice a (dead) host out of the circuit: its predecessor now
+        forwards directly to its successor.
+
+        This is the local repair a membership service performs on member
+        death; splicing preserves the tour order, so an ID-ordered circuit
+        stays ID-ordered (still exactly one reversal) and an optimized tour
+        stays a valid tour.  The caller updates the
+        :class:`~repro.core.groups.MulticastGroup` separately.
+        """
+        if host not in self._position:
+            raise ValueError(f"host {host} not on circuit of group {self.gid}")
+        if self.size <= 2:
+            raise ValueError(
+                f"circuit of group {self.gid} cannot shrink below two members"
+            )
+        self.sequence.remove(host)
+        self._position = {h: i for i, h in enumerate(self.sequence)}
+
     def walk_from(self, origin: int, hop_count: Optional[int] = None) -> List[int]:
         """Hosts visited (in order) by a multicast starting at ``origin``."""
         if hop_count is None:

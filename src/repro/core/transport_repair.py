@@ -52,11 +52,21 @@ class RepairConfig:
     ``request_timeout`` is the base gap-detection timer; each member adds
     ``timeout_step`` per chain position plus random jitter, so requests
     near the loss fire first and duplicates downstream are damped.
+
+    ``backoff_factor`` multiplies the timer on every unanswered round
+    (capped at ``max_timeout``), so a repair that is itself being lost does
+    not flood the chain with requests.  ``damping_interval`` suppresses a
+    host re-sending (or re-forwarding) a request for the same sequence
+    within the window, and a holder rebroadcasting the same repair within
+    it -- [FJM+95]'s duplicate suppression in chain form; 0 disables.
     """
 
     request_timeout: float = 4_000.0
     timeout_step: float = 500.0
     jitter: float = 500.0
+    backoff_factor: float = 1.5
+    max_timeout: float = 120_000.0
+    damping_interval: float = 2_000.0
     heartbeat_period: float = 20_000.0
     control_bytes: int = 16
     max_rounds: int = 50
@@ -84,6 +94,7 @@ class RepairSession:
         members: List[int],
         config: Optional[RepairConfig] = None,
         seed: int = 17,
+        sid: Optional[int] = None,
     ) -> None:
         if len(members) < 2:
             raise ValueError("a repair session needs at least two members")
@@ -92,7 +103,10 @@ class RepairSession:
         self.config = config or RepairConfig()
         self.members = sorted(members)
         self.source = self.members[0]
-        self.sid = next(_session_ids)
+        # The session id names the RNG substream; the process-global default
+        # breaks byte-reproducibility across runs in one process, so
+        # reproducible experiments pass an explicit sid.
+        self.sid = next(_session_ids) if sid is None else sid
         self._position = {h: i for i, h in enumerate(self.members)}
         self._states = {
             h: _MemberState(h, self._position[h]) for h in self.members
@@ -106,6 +120,16 @@ class RepairSession:
         self.requests_sent = 0
         self.repairs_sent = 0
         self.duplicates = 0
+        self.requests_damped = 0
+        self.repairs_damped = 0
+        self.heartbeats_sent = 0
+        self.data_bytes_sent = 0
+        self.repair_bytes_sent = 0
+        self.control_bytes_sent = 0
+        #: (host, seq) -> time of that host's last outgoing request /
+        #: last repair rebroadcast (the damping windows).
+        self._last_request: Dict[tuple, float] = {}
+        self._last_repair: Dict[tuple, float] = {}
         self._hb_wake = None
         for host in self.members:
             net.set_receiver(host, self._on_worm)
@@ -140,6 +164,28 @@ class RepairSession:
         last = max(s.received[seq] for s in self._states.values())
         return last - self._sent_at[seq]
 
+    def repair_overhead_ratio(self) -> float:
+        """Bytes spent on repair (requests + heartbeats + rebroadcasts)
+        per byte of original data -- the 'pay only on loss' cost the
+        paper's conclusion weighs against circuit confirmation."""
+        overhead = self.control_bytes_sent + self.repair_bytes_sent
+        return overhead / self.data_bytes_sent if self.data_bytes_sent else 0.0
+
+    def overhead(self) -> Dict[str, float]:
+        """Repair-traffic accounting since the session started."""
+        return {
+            "requests_sent": self.requests_sent,
+            "requests_damped": self.requests_damped,
+            "repairs_sent": self.repairs_sent,
+            "repairs_damped": self.repairs_damped,
+            "heartbeats_sent": self.heartbeats_sent,
+            "duplicates": self.duplicates,
+            "data_bytes": self.data_bytes_sent,
+            "repair_bytes": self.repair_bytes_sent,
+            "control_bytes": self.control_bytes_sent,
+            "overhead_ratio": self.repair_overhead_ratio(),
+        }
+
     # -- chain relay ---------------------------------------------------------------
     def _successor(self, host: int) -> Optional[int]:
         index = self._position[host] + 1
@@ -149,10 +195,14 @@ class RepairSession:
         index = self._position[host] - 1
         return self.members[index] if index >= 0 else None
 
-    def _forward(self, host: int, seq: int, length: int) -> None:
+    def _forward(self, host: int, seq: int, length: int, is_repair: bool = False) -> None:
         nxt = self._successor(host)
         if nxt is None:
             return
+        if is_repair:
+            self.repair_bytes_sent += length
+        else:
+            self.data_bytes_sent += length
         worm = Worm(
             source=host,
             dest=nxt,
@@ -201,17 +251,17 @@ class RepairSession:
                 )
 
     def _request_loop(self, host: int, seq: int):
-        """Randomized, position-scaled timer; on expiry send a request up
-        the chain; repeat until the repair arrives."""
+        """Randomized, position-scaled timer with exponential backoff; on
+        expiry send a request up the chain; repeat until the repair
+        arrives."""
         config = self.config
         state = self._states[host]
         rounds = 0
+        base = config.request_timeout + config.timeout_step * state.position
         while seq not in state.received:
-            delay = (
-                config.request_timeout
-                + config.timeout_step * state.position
-                + self._rng.uniform(0, config.jitter)
-            )
+            delay = min(
+                base * config.backoff_factor**rounds, config.max_timeout
+            ) + self._rng.uniform(0, config.jitter)
             yield self.sim.timeout(delay)
             if seq in state.received:
                 return
@@ -221,46 +271,62 @@ class RepairSession:
                     f"repair of seq {seq} at host {host} exceeded "
                     f"{config.max_rounds} rounds"
                 )
-            predecessor = self._predecessor(host)
-            if predecessor is None:
-                continue
-            self.requests_sent += 1
-            self.net.send(
-                Worm(
-                    source=host,
-                    dest=predecessor,
-                    length=config.control_bytes,
-                    kind=WormKind.MULTICAST,
-                    group=self.sid,
-                    seqno=seq,
-                    created=self.sim.now,
-                    payload=(_REQUEST, seq),
-                )
+            self._send_request(host, seq)
+
+    def _send_request(self, host: int, seq: int) -> None:
+        """Send a retransmission request up the chain, unless this host
+        already asked for the same sequence within the damping window
+        (concurrent timeouts otherwise multiply requests)."""
+        predecessor = self._predecessor(host)
+        if predecessor is None:
+            return
+        config = self.config
+        if config.damping_interval > 0:
+            last = self._last_request.get((host, seq))
+            if last is not None and self.sim.now - last < config.damping_interval:
+                self.requests_damped += 1
+                return
+        self._last_request[(host, seq)] = self.sim.now
+        self.requests_sent += 1
+        self.control_bytes_sent += config.control_bytes
+        self.net.send(
+            Worm(
+                source=host,
+                dest=predecessor,
+                length=config.control_bytes,
+                kind=WormKind.MULTICAST,
+                group=self.sid,
+                seqno=seq,
+                created=self.sim.now,
+                payload=(_REQUEST, seq),
             )
+        )
 
     def _on_request(self, host: int, seq: int) -> None:
         """'The first host which gets the request and which received the
         original message will rebroadcast it downstream'; otherwise the
-        request keeps travelling up the chain."""
+        request keeps travelling up the chain.
+
+        A holder that just rebroadcast ``seq`` damps further requests for
+        it within the damping window: with several downstream members
+        timing out concurrently, one repair serves them all.
+        """
         state = self._states[host]
         if seq in state.received:
+            config = self.config
+            if config.damping_interval > 0:
+                last = self._last_repair.get((host, seq))
+                if (
+                    last is not None
+                    and self.sim.now - last < config.damping_interval
+                ):
+                    self.repairs_damped += 1
+                    return
+            self._last_repair[(host, seq)] = self.sim.now
             self.repairs_sent += 1
-            self._forward(host, seq, self._lengths.get(seq, 400))
+            self._forward(host, seq, self._lengths.get(seq, 400), is_repair=True)
             return
-        predecessor = self._predecessor(host)
-        if predecessor is not None:
-            self.net.send(
-                Worm(
-                    source=host,
-                    dest=predecessor,
-                    length=self.config.control_bytes,
-                    kind=WormKind.MULTICAST,
-                    group=self.sid,
-                    seqno=seq,
-                    created=self.sim.now,
-                    payload=(_REQUEST, seq),
-                )
-            )
+        self._send_request(host, seq)
 
     # -- heartbeats (tail-loss detection) ---------------------------------------------
     def _heartbeat_loop(self):
@@ -277,6 +343,8 @@ class RepairSession:
                 continue
             advertised = self.highest_sent + 1
             for host in self.members[1:]:
+                self.heartbeats_sent += 1
+                self.control_bytes_sent += config.control_bytes
                 self.net.send(
                     Worm(
                         source=self.source,

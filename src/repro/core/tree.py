@@ -127,6 +127,40 @@ class RootedTree:
             node = parent
             depth += 1
 
+    def remove_member(self, host: int) -> None:
+        """Splice a (dead) host out of the tree, reattaching its children.
+
+        A non-root host's children move to its parent: every child's ID
+        exceeds the dead host's, which exceeds the parent's, so the paper's
+        children-have-higher-IDs rule is preserved.  When the root dies its
+        lowest-ID child (the lowest surviving member, by the ID rule)
+        becomes the new root and adopts its siblings.  Reattachment may
+        exceed ``branching`` -- a tolerated degradation until the group is
+        rebuilt.  The caller updates the group membership separately.
+        """
+        if host not in self._parent:
+            raise ValueError(f"host {host} not in tree of group {self.gid}")
+        if len(self._parent) <= 2:
+            raise ValueError(
+                f"tree of group {self.gid} cannot shrink below two members"
+            )
+        orphans = self._children.pop(host)
+        parent = self._parent.pop(host)
+        if parent is None:
+            # Root death: promote the lowest-id child.
+            new_root, siblings = orphans[0], orphans[1:]
+            self._parent[new_root] = None
+            for child in siblings:
+                self._parent[child] = new_root
+            self._children[new_root].extend(siblings)
+            self._children[new_root].sort()
+        else:
+            self._children[parent].remove(host)
+            for child in orphans:
+                self._parent[child] = parent
+            self._children[parent].extend(orphans)
+            self._children[parent].sort()
+
     def id_rule_holds(self) -> bool:
         """Verify the paper's rule: every child has a higher ID than its
         parent (this is what prevents buffer deadlocks, Section 6)."""

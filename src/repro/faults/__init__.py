@@ -1,0 +1,56 @@
+"""Deterministic fault injection and failure-driven reconfiguration.
+
+The paper's networks are engineered so that worms are "almost never"
+lost -- but Section 9 concedes that deadlock resolution, reconfiguration
+and component failures do lose worms, and weighs network-level reliability
+(circuit confirmation, Section 5) against transport-level repair
+([FJM+95]).  This package supplies the missing experimental apparatus:
+
+``repro.faults.schedule``
+    :class:`FaultSchedule` -- scripted or stochastically generated timelines
+    of link/switch/host failures and repairs, worm drops and adapter-buffer
+    faults.  Fault sampling draws from its own
+    :class:`~repro.sim.rng.RandomStreams` substream, so arming faults never
+    perturbs the traffic sample path.
+``repro.faults.injector``
+    :class:`FaultInjector` -- a simulation process that applies a schedule
+    to a live :class:`~repro.net.wormnet.WormholeNetwork` through the
+    topology/network liveness hooks, keeping a canonical, byte-reproducible
+    event log.
+``repro.faults.recovery``
+    :class:`RecoveryManager` -- the Autonet-style reaction: on any liveness
+    change it rebuilds the up/down spanning tree and the network's channel
+    tables after a detection delay, records the reconvergence time, and
+    dispatches host deaths to the multicast engine's group-repair path.
+``repro.faults.metrics``
+    :class:`AvailabilityMetrics` -- graceful-degradation measurement:
+    delivery ratio, orphaned/dropped worm counts, reconvergence times and
+    transport repair-traffic overhead.
+``repro.faults.campaign``
+    Self-contained campaign runners (used by the ``fault_campaign`` and
+    ``repair_campaign`` sweep point kinds) that wire workload + schedule +
+    recovery together and return plain JSON-serializable records.
+"""
+
+from repro.faults.schedule import FAULT_KINDS, FaultEvent, FaultSchedule
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import (
+    ReconvergenceRecord,
+    RecoveryConfig,
+    RecoveryManager,
+)
+from repro.faults.metrics import AvailabilityMetrics
+from repro.faults.campaign import run_fault_campaign, run_repair_campaign
+
+__all__ = [
+    "AvailabilityMetrics",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "ReconvergenceRecord",
+    "RecoveryConfig",
+    "RecoveryManager",
+    "run_fault_campaign",
+    "run_repair_campaign",
+]

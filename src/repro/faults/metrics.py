@@ -1,0 +1,104 @@
+"""Graceful-degradation measurement: what a fault campaign reports.
+
+The availability story of a wormhole LAN under faults has three layers:
+
+* **network**: how many worms were delivered vs flushed -- forced drops
+  (``dropped_worms``, transport-repairable) and component-failure losses
+  (``orphaned_worms``, unrecoverable at the network level);
+* **control plane**: how long each reconfiguration took (reconvergence
+  times from the :class:`~repro.faults.recovery.RecoveryManager`) and how
+  many group structures had to be repaired;
+* **transport**: how many repair bytes the [FJM+95] scheme spent per data
+  byte recovering the repairable losses.
+
+:class:`AvailabilityMetrics` collects all three into one JSON-serializable
+record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class AvailabilityMetrics:
+    """One campaign's graceful-degradation summary."""
+
+    delivered_worms: int = 0
+    dropped_worms: int = 0
+    orphaned_worms: int = 0
+    delivery_ratio: float = 1.0
+    faults_applied: int = 0
+    reconfigurations: int = 0
+    routing_rebuilds: int = 0
+    partitions_seen: int = 0
+    reconvergence_times: List[float] = field(default_factory=list)
+    group_repairs: int = 0
+    groups_dissolved: int = 0
+    repair_overhead: Optional[Dict[str, float]] = None
+
+    @property
+    def mean_reconvergence_time(self) -> float:
+        times = self.reconvergence_times
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def max_reconvergence_time(self) -> float:
+        return max(self.reconvergence_times) if self.reconvergence_times else 0.0
+
+    @classmethod
+    def collect(
+        cls,
+        net,
+        injector=None,
+        recovery=None,
+        engine=None,
+        session=None,
+    ) -> "AvailabilityMetrics":
+        """Harvest the counters of a finished (or paused) campaign.
+
+        ``net`` is the :class:`~repro.net.wormnet.WormholeNetwork`; the
+        rest are optional campaign components
+        (:class:`~repro.faults.injector.FaultInjector`,
+        :class:`~repro.faults.recovery.RecoveryManager`,
+        :class:`~repro.core.adapters.MulticastEngine`,
+        :class:`~repro.core.transport_repair.RepairSession`).
+        """
+        metrics = cls(
+            delivered_worms=net.delivered_worms,
+            dropped_worms=net.dropped_worms,
+            orphaned_worms=net.orphaned_worms,
+            delivery_ratio=net.delivery_ratio(),
+        )
+        if injector is not None:
+            metrics.faults_applied = injector.applied
+        if recovery is not None:
+            metrics.reconfigurations = recovery.reconfigurations
+            metrics.partitions_seen = recovery.partitions_seen
+            metrics.reconvergence_times = recovery.reconvergence_times()
+            metrics.routing_rebuilds = recovery.routing.rebuilds
+        if engine is not None:
+            metrics.group_repairs = engine.group_repairs
+            metrics.groups_dissolved = engine.groups_dissolved
+        if session is not None:
+            metrics.repair_overhead = session.overhead()
+        return metrics
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "delivered_worms": self.delivered_worms,
+            "dropped_worms": self.dropped_worms,
+            "orphaned_worms": self.orphaned_worms,
+            "delivery_ratio": self.delivery_ratio,
+            "faults_applied": self.faults_applied,
+            "reconfigurations": self.reconfigurations,
+            "routing_rebuilds": self.routing_rebuilds,
+            "partitions_seen": self.partitions_seen,
+            "reconvergence_times": list(self.reconvergence_times),
+            "mean_reconvergence_time": self.mean_reconvergence_time,
+            "max_reconvergence_time": self.max_reconvergence_time,
+            "group_repairs": self.group_repairs,
+            "groups_dissolved": self.groups_dissolved,
+            "repair_overhead": self.repair_overhead,
+        }

@@ -1,0 +1,143 @@
+"""Failure-driven reconfiguration: the recovery plane.
+
+Autonet (the up/down routing's origin) reacts to any topology change by
+re-running its distributed spanning-tree protocol; Myrinet's mapper does the
+equivalent remap.  :class:`RecoveryManager` models that reaction:
+
+* it listens for liveness changes on the :class:`~repro.net.topology.Topology`;
+* after a ``detection_delay`` (the time for heartbeat loss / port alarms to
+  surface) it rebuilds the up/down spanning tree over the live subgraph and
+  re-syncs the network's channel tables;
+* the reconvergence time -- fault to fully reconfigured routes -- is
+  recorded per event, modelling the protocol exchange as a per-live-switch
+  cost on top of the detection delay;
+* a host death is dispatched to the multicast engine, which splices the
+  host out of every group structure
+  (:meth:`~repro.core.adapters.MulticastEngine.handle_host_failure`).
+
+Between the fault and the rebuild the lazy staleness guards added to
+:class:`~repro.net.updown.UpDownRouting` and
+:class:`~repro.net.wormnet.WormholeNetwork` keep new worms off dead links
+anyway; the eager rebuild exists to *measure* reconvergence and to repair
+group structures, not to restore correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.topology import Topology, TopologyChange
+from repro.net.wormnet import WormholeNetwork
+from repro.sim.engine import Simulator
+
+#: Change kinds the recovery plane reacts to (structural additions are the
+#: mapper's quiet-time job, not a failure reaction).
+_LIVENESS_KINDS = ("link_fail", "link_repair", "node_fail", "node_repair")
+
+
+@dataclass
+class RecoveryConfig:
+    """Timing model of the reconfiguration protocol.
+
+    ``detection_delay`` is the time from the fault to the management plane
+    noticing it (byte-times); ``cost_per_switch`` models the spanning-tree
+    protocol exchange, paid once per live switch per reconfiguration.
+    """
+
+    detection_delay: float = 100.0
+    cost_per_switch: float = 10.0
+
+
+@dataclass
+class ReconvergenceRecord:
+    """One reconfiguration episode."""
+
+    cause: str
+    target: int
+    fault_time: float
+    detected_at: float
+    converged_at: float
+
+    @property
+    def reconvergence_time(self) -> float:
+        """Fault occurrence to fully reconverged routes."""
+        return self.converged_at - self.fault_time
+
+    def to_dict(self) -> dict:
+        return {
+            "cause": self.cause,
+            "target": self.target,
+            "fault_time": self.fault_time,
+            "detected_at": self.detected_at,
+            "converged_at": self.converged_at,
+            "reconvergence_time": self.reconvergence_time,
+        }
+
+
+class RecoveryManager:
+    """Watches a topology and reconfigures the network after each change."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: WormholeNetwork,
+        engine=None,
+        config: Optional[RecoveryConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.routing = net.routing
+        #: Optional :class:`~repro.core.adapters.MulticastEngine` whose
+        #: group structures are repaired on host death.
+        self.engine = engine
+        self.config = config or RecoveryConfig()
+        self.records: List[ReconvergenceRecord] = []
+        self.reconfigurations = 0
+        self.partitions_seen = 0
+        net.topology.add_listener(self._on_change)
+
+    def detach(self) -> None:
+        self.net.topology.remove_listener(self._on_change)
+
+    # -- reaction ---------------------------------------------------------------
+    def _on_change(self, topology: Topology, change: TopologyChange) -> None:
+        if change.kind not in _LIVENESS_KINDS:
+            return
+        fault_time = self.sim.now
+        self.sim.schedule_call(
+            self.config.detection_delay,
+            lambda: self._reconfigure(change, fault_time),
+        )
+
+    def _reconfigure(self, change: TopologyChange, fault_time: float) -> None:
+        detected_at = self.sim.now
+        topology = self.net.topology
+        self.routing.rebuild()
+        self.net.refresh_topology()
+        if not topology.is_connected(live_only=True):
+            self.partitions_seen += 1
+        live_switches = sum(
+            1 for s in topology.switches if topology.node_alive(s)
+        )
+        converged_at = detected_at + self.config.cost_per_switch * live_switches
+        self.records.append(
+            ReconvergenceRecord(
+                cause=change.kind,
+                target=change.target,
+                fault_time=fault_time,
+                detected_at=detected_at,
+                converged_at=converged_at,
+            )
+        )
+        self.reconfigurations += 1
+        if (
+            self.engine is not None
+            and change.kind == "node_fail"
+            and topology.node(change.target).kind == "host"
+        ):
+            self.engine.handle_host_failure(change.target)
+
+    # -- measurement -------------------------------------------------------------
+    def reconvergence_times(self) -> List[float]:
+        return [record.reconvergence_time for record in self.records]

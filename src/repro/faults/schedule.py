@@ -1,0 +1,177 @@
+"""Fault schedules: deterministic timelines of component failures.
+
+A schedule is an ordered list of :class:`FaultEvent`; the
+:class:`~repro.faults.injector.FaultInjector` replays it against a live
+network.  Schedules are either scripted (explicit event lists -- the
+regression-test form) or sampled stochastically with
+:meth:`FaultSchedule.random` from a dedicated random substream, so fault
+arrival sampling can never perturb the traffic generators' sample paths
+(the same common-random-numbers discipline the sweep layer uses).
+
+Schedules serialize to canonical JSON: the same schedule always produces
+the same bytes, which is what makes whole fault campaigns byte-reproducible
+and cacheable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.sim.rng import Stream
+
+#: Recognized event kinds and what ``target``/``param`` mean for each.
+#:
+#: ``link_fail`` / ``link_repair``
+#:     ``target`` is a link id; the physical cable dies / revives.
+#: ``node_fail`` / ``node_repair``
+#:     ``target`` is a node id (switch or host); crash / reboot.
+#: ``worm_drop``
+#:     ``target`` is a source host id (or -1 for any source); the next
+#:     ``param`` worms injected by it are flushed mid-network, the
+#:     transport-repairable loss of Section 9.
+#: ``recv_fault``
+#:     ``target`` is a host id; the next ``param`` worms fully arriving at
+#:     it are discarded by the adapter (buffer parity error / DMA overrun).
+FAULT_KINDS = (
+    "link_fail",
+    "link_repair",
+    "node_fail",
+    "node_repair",
+    "worm_drop",
+    "recv_fault",
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault or repair."""
+
+    time: float
+    kind: str
+    target: int
+    param: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.time}")
+        if self.param < 1:
+            raise ValueError(f"fault param must be positive, got {self.param}")
+
+    def canonical(self) -> str:
+        """Stable one-line rendering (the event-log vocabulary)."""
+        return f"{self.kind} target={self.target} param={self.param}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "target": self.target,
+            "param": self.param,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            target=int(data["target"]),
+            param=int(data.get("param", 1)),
+        )
+
+
+class FaultSchedule:
+    """An immutable, time-ordered sequence of fault events.
+
+    Events at equal times keep their given order (a fail scheduled before
+    a repair at the same instant applies first).
+    """
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        indexed = list(enumerate(events))
+        indexed.sort(key=lambda pair: (pair[1].time, pair[0]))
+        self.events: Tuple[FaultEvent, ...] = tuple(ev for _, ev in indexed)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultSchedule) and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultSchedule {len(self.events)} events>"
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0.0 for an empty schedule)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def to_json(self) -> str:
+        """Canonical JSON (stable key order, no whitespace)."""
+        return json.dumps(
+            [ev.to_dict() for ev in self.events],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSchedule":
+        return cls([FaultEvent.from_dict(item) for item in json.loads(text)])
+
+    # -- stochastic generation ------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        stream: Stream,
+        duration: float,
+        link_ids: Sequence[int] = (),
+        link_mttf: float = 0.0,
+        link_mttr: float = 0.0,
+        node_ids: Sequence[int] = (),
+        node_mttf: float = 0.0,
+        node_mttr: float = 0.0,
+        start: float = 0.0,
+    ) -> "FaultSchedule":
+        """Sample an alternating fail/repair renewal process per component.
+
+        Each listed component (visited in sorted id order, each with its
+        whole timeline drawn consecutively, so the schedule depends only on
+        ``stream`` and the arguments) fails after an exponential time with
+        mean ``*_mttf`` and is repaired after an exponential downtime with
+        mean ``*_mttr``; a zero ``*_mttr`` leaves failures permanent.
+        Events beyond ``start + duration`` are discarded.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        events: List[FaultEvent] = []
+        end = start + duration
+
+        def component_timeline(cid: int, kind_prefix: str, mttf: float, mttr: float):
+            t = start
+            while True:
+                t += stream.exponential(mttf)
+                if t >= end:
+                    return
+                events.append(FaultEvent(t, f"{kind_prefix}_fail", cid))
+                if mttr <= 0:
+                    return
+                t += stream.exponential(mttr)
+                if t >= end:
+                    return
+                events.append(FaultEvent(t, f"{kind_prefix}_repair", cid))
+
+        if link_mttf > 0:
+            for link_id in sorted(link_ids):
+                component_timeline(link_id, "link", link_mttf, link_mttr)
+        if node_mttf > 0:
+            for node_id in sorted(node_ids):
+                component_timeline(node_id, "node", node_mttf, node_mttr)
+        return cls(events)

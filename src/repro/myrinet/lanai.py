@@ -84,7 +84,7 @@ class AdapterStats:
 
     __slots__ = (
         "originated", "received_packets", "received_bytes",
-        "arrivals", "drops", "forwarded",
+        "arrivals", "drops", "injected_drops", "forwarded",
     )
 
     def __init__(self) -> None:
@@ -93,6 +93,7 @@ class AdapterStats:
         self.received_bytes = 0
         self.arrivals = 0
         self.drops = 0
+        self.injected_drops = 0
         self.forwarded = 0
 
     def reset(self) -> None:
@@ -117,6 +118,16 @@ class MyrinetAdapter:
         self.successor: Optional["MyrinetAdapter"] = None
         self.stats = AdapterStats()
         self._greedy_proc = None
+        self._pending_buffer_faults = 0
+
+    # -- fault injection -----------------------------------------------------
+    def inject_buffer_fault(self, count: int = 1) -> None:
+        """Force the next ``count`` arriving packets to be dropped as if the
+        input buffer had no room (transient SRAM/buffer fault).  Counted in
+        both ``stats.drops`` and ``stats.injected_drops``."""
+        if count < 0:
+            raise ValueError("fault count must be non-negative")
+        self._pending_buffer_faults += count
 
     # -- origination ---------------------------------------------------------
     def start_greedy_sender(self, size: int, hop_count: int) -> None:
@@ -168,6 +179,11 @@ class MyrinetAdapter:
     def receive(self, packet: Packet) -> None:
         """Packet fully arrived at the input port: admit or drop."""
         self.stats.arrivals += 1
+        if self._pending_buffer_faults:
+            self._pending_buffer_faults -= 1
+            self.stats.drops += 1
+            self.stats.injected_drops += 1
+            return
         if not self.input_buffer.try_get(packet.size):
             self.stats.drops += 1  # the only loss point (Section 8.2)
             return

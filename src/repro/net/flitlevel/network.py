@@ -116,6 +116,8 @@ class FlitNetwork:
         self.now = 0
         self.killed: set = set()
         self.flushes = 0
+        self.worms_lost = 0
+        self.link_faults = 0
         self.records: Dict[int, WormRecord] = {}
         #: Hamiltonian host-adapter multicast state (create_host_group).
         self.host_groups: Dict[int, List[int]] = {}
@@ -168,17 +170,62 @@ class FlitNetwork:
             # a's out wire is b's in wire and vice versa.
             sb.inputs[pb].wire = sa.outputs[pa].wire
             sa.inputs[pa].wire = sb.outputs[pb].wire
-        # Down-link ports for the broadcast address (Section 3).
+        # The wires actually carrying each link's traffic (post-splice).
+        self._link_wires: Dict[int, List[Wire]] = {}
+        for link in topology.links:
+            a_host = topology.node(link.a).is_host
+            b_host = topology.node(link.b).is_host
+            if a_host or b_host:
+                host = link.a if a_host else link.b
+                adapter = self.adapters[host]
+                self._link_wires[link.id] = [adapter.wire_out, adapter.wire_in]
+            else:
+                pa = self._port_of[(link.a, link.id)]
+                pb = self._port_of[(link.b, link.id)]
+                self._link_wires[link.id] = [
+                    self.switches[link.a].outputs[pa].wire,
+                    self.switches[link.b].outputs[pb].wire,
+                ]
+        self._refresh_down_ports()
+
+    def _refresh_down_ports(self) -> None:
+        """(Re)compute each switch's broadcast down-link ports from the
+        current up/down tree (Section 3); called after reconfiguration."""
+        topology = self.topology
+        tree_links = self.routing.tree_links
         for sid in topology.switches:
             switch = self.switches[sid]
             ports = []
             for link in topology.adjacent(sid):
                 peer = link.other(sid)
-                if link.id in self.routing.tree_links and not self.routing.is_up(
-                    sid, peer
-                ):
+                if link.id in tree_links and not self.routing.is_up(sid, peer):
                     ports.append(self._port_of[(sid, link.id)])
             switch.down_ports = ports
+
+    # -- fault injection ---------------------------------------------------------
+    def fail_link(self, link_id: int) -> List[int]:
+        """Cut a link: in-flight flits are destroyed, the worms they belong
+        to are expunged (lost, not retransmitted -- network-level loss), and
+        the up/down routing reconfigures around the dead link for worms
+        injected from now on.  Returns the lost worm ids."""
+        self.topology.fail_link(link_id)  # bumps version; routing re-derives
+        lost: set = set()
+        for wire in self._link_wires[link_id]:
+            if wire is not None:
+                lost |= wire.fail()
+        self.link_faults += 1
+        for wid in sorted(lost):
+            self.lose_worm(wid)
+        self._refresh_down_ports()
+        return sorted(lost)
+
+    def repair_link(self, link_id: int) -> None:
+        """Bring a failed link back; routing reconfigures to use it again."""
+        self.topology.repair_link(link_id)
+        for wire in self._link_wires[link_id]:
+            if wire is not None:
+                wire.repair()
+        self._refresh_down_ports()
 
     # -- route helpers -------------------------------------------------------
     def _port_bytes(self, hops) -> List[int]:
@@ -321,17 +368,37 @@ class FlitNetwork:
                 record.message_id,
             )
 
-    def flush(self, wid: int, reason: str = "") -> None:
-        """Backward-reset a worm out of the network (scheme 3) and schedule
-        its source retransmission after a random timeout."""
+    def _expunge(self, wid: int) -> bool:
+        """Backward-reset a worm out of every switch and wire; returns False
+        when it was already expunged."""
         if wid in self.killed:
-            return
+            return False
         self.killed.add(wid)
-        self.flushes += 1
         for switch in self.switches.values():
             switch.drop_worm(wid)
         for wire in self._wires:
             wire.drop_worm(wid)
+        return True
+
+    def lose_worm(self, wid: int, reason: str = "fault") -> None:
+        """Fault injection: destroy a worm with *no* retransmission.
+
+        This is network-level loss -- exactly what the transport-level
+        request/repair scheme (Section 9) must recover from.  The record is
+        removed so the run loop does not wait for a delivery that can never
+        happen; partial deliveries already made stand.
+        """
+        if not self._expunge(wid):
+            return
+        self.worms_lost += 1
+        self.records.pop(wid, None)
+
+    def flush(self, wid: int, reason: str = "") -> None:
+        """Backward-reset a worm out of the network (scheme 3) and schedule
+        its source retransmission after a random timeout."""
+        if not self._expunge(wid):
+            return
+        self.flushes += 1
         record = self.records.get(wid)
         if record is None:
             return

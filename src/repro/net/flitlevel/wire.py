@@ -24,6 +24,23 @@ class Wire:
         self._last_push_tick = -1
         self.carried = 0
         self.idles = 0
+        #: False while the physical link is down (fault injection): pushed
+        #: flits are swallowed and nothing is delivered.
+        self.alive = True
+
+    # -- liveness ---------------------------------------------------------------
+    def fail(self) -> set:
+        """Cut the wire: discard everything in flight; returns the worm ids
+        whose flits were lost (the injector flushes those worms)."""
+        self.alive = False
+        lost = {f.wid for _, f in self._forward if f.wid is not None}
+        self._forward.clear()
+        self._reverse.clear()
+        self._stop_at_sender = False
+        return lost
+
+    def repair(self) -> None:
+        self.alive = True
 
     # -- forward (data) ------------------------------------------------------
     def push(self, flit: Flit, now: int) -> None:
@@ -31,6 +48,8 @@ class Wire:
         if now == self._last_push_tick:
             raise RuntimeError(f"two flits pushed on one wire in tick {now}")
         self._last_push_tick = now
+        if not self.alive:
+            return  # a dead wire swallows the flit; the sender can't tell
         self._forward.append((now + self.delay, flit))
         self.carried += 1
         if flit.kind.value == "idle":

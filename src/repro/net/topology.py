@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 SWITCH = "switch"
 HOST = "host"
@@ -60,8 +60,29 @@ class Link:
         return (self.a, self.b)
 
 
+@dataclass(frozen=True)
+class TopologyChange:
+    """One liveness or structural mutation, as seen by change listeners.
+
+    ``kind`` is one of ``link_fail``/``link_repair``/``node_fail``/
+    ``node_repair``/``link_add``/``node_add``; ``target`` is the link or
+    node id the change applies to.
+    """
+
+    kind: str
+    target: int
+
+
 class Topology:
-    """An undirected switch/host graph."""
+    """An undirected switch/host graph with component liveness.
+
+    Every node and link is *alive* when created; the fault-injection layer
+    (:mod:`repro.faults`) toggles liveness through :meth:`fail_link` /
+    :meth:`fail_node` and their repair counterparts.  Structural and
+    liveness mutations bump :attr:`version`, which the route/channel caches
+    downstream (:class:`~repro.net.updown.UpDownRouting`,
+    :class:`~repro.net.wormnet.WormholeNetwork`) use to detect staleness.
+    """
 
     def __init__(self, name: str = "net") -> None:
         self.name = name
@@ -69,6 +90,30 @@ class Topology:
         self._links: List[Link] = []
         self._adjacency: Dict[int, List[Link]] = {}
         self._host_link: Dict[int, Link] = {}
+        self._dead_links: Set[int] = set()
+        self._dead_nodes: Set[int] = set()
+        #: Monotonic mutation counter; bumped by every structural or
+        #: liveness change.
+        self.version = 0
+        self._listeners: List[Callable[["Topology", TopologyChange], None]] = []
+
+    def _mutated(self, kind: str, target: int) -> None:
+        self.version += 1
+        if self._listeners:
+            change = TopologyChange(kind, target)
+            for listener in list(self._listeners):
+                listener(self, change)
+
+    def add_listener(
+        self, fn: Callable[["Topology", TopologyChange], None]
+    ) -> None:
+        """Register ``fn(topology, change)`` to run on every mutation."""
+        self._listeners.append(fn)
+
+    def remove_listener(
+        self, fn: Callable[["Topology", TopologyChange], None]
+    ) -> None:
+        self._listeners.remove(fn)
 
     # -- construction --------------------------------------------------------
     def add_switch(self, name: Optional[str] = None) -> int:
@@ -77,6 +122,7 @@ class Topology:
         node = Node(nid, SWITCH, name or f"s{nid}")
         self._nodes[nid] = node
         self._adjacency[nid] = []
+        self._mutated("node_add", nid)
         return nid
 
     def add_host(
@@ -91,6 +137,7 @@ class Topology:
         self._adjacency[nid] = []
         link = self._connect(nid, switch, prop_delay)
         self._host_link[nid] = link
+        self._mutated("node_add", nid)
         return nid
 
     def add_link(self, a: int, b: int, prop_delay: float = 0.0) -> Link:
@@ -114,7 +161,82 @@ class Topology:
         self._links.append(link)
         self._adjacency[a].append(link)
         self._adjacency[b].append(link)
+        self._mutated("link_add", link.id)
         return link
+
+    # -- liveness -------------------------------------------------------------
+    def fail_link(self, link_id: int) -> None:
+        """Mark a link down (cable cut / port failure)."""
+        if not 0 <= link_id < len(self._links):
+            raise KeyError(f"no link with id {link_id}")
+        if link_id not in self._dead_links:
+            self._dead_links.add(link_id)
+            self._mutated("link_fail", link_id)
+
+    def repair_link(self, link_id: int) -> None:
+        """Bring a failed link back up."""
+        if not 0 <= link_id < len(self._links):
+            raise KeyError(f"no link with id {link_id}")
+        if link_id in self._dead_links:
+            self._dead_links.discard(link_id)
+            self._mutated("link_repair", link_id)
+
+    def fail_node(self, nid: int) -> None:
+        """Mark a switch or host down (crash / power loss).
+
+        A dead node's links are implicitly unusable; they revive with the
+        node unless individually failed.
+        """
+        self.node(nid)  # validate
+        if nid not in self._dead_nodes:
+            self._dead_nodes.add(nid)
+            self._mutated("node_fail", nid)
+
+    def repair_node(self, nid: int) -> None:
+        self.node(nid)  # validate
+        if nid in self._dead_nodes:
+            self._dead_nodes.discard(nid)
+            self._mutated("node_repair", nid)
+
+    def link_alive(self, link_id: int) -> bool:
+        return link_id not in self._dead_links
+
+    def node_alive(self, nid: int) -> bool:
+        return nid not in self._dead_nodes
+
+    def link_usable(self, link: Link) -> bool:
+        """True when the link and both its endpoints are alive."""
+        return (
+            link.id not in self._dead_links
+            and link.a not in self._dead_nodes
+            and link.b not in self._dead_nodes
+        )
+
+    @property
+    def dead_links(self) -> Set[int]:
+        return set(self._dead_links)
+
+    @property
+    def dead_nodes(self) -> Set[int]:
+        return set(self._dead_nodes)
+
+    @property
+    def fully_alive(self) -> bool:
+        return not self._dead_links and not self._dead_nodes
+
+    def live_hosts(self) -> List[int]:
+        """Alive host ids in increasing order."""
+        return [
+            h for h in self.hosts
+            if h not in self._dead_nodes
+            and self._host_link[h].id not in self._dead_links
+        ]
+
+    def live_neighbors(self, nid: int) -> Iterator[Tuple[int, Link]]:
+        """Like :meth:`neighbors` but restricted to usable links."""
+        for link in self._adjacency[nid]:
+            if self.link_usable(link):
+                yield link.other(nid), link
 
     # -- access ---------------------------------------------------------------
     def node(self, nid: int) -> Node:
@@ -163,21 +285,32 @@ class Topology:
             raise ValueError(f"{host} is not a host")
         return link
 
-    def is_connected(self) -> bool:
-        """True when every node is reachable from every other."""
-        if not self._nodes:
+    def is_connected(self, live_only: bool = False) -> bool:
+        """True when every node is reachable from every other.
+
+        With ``live_only`` the walk is restricted to the live subgraph
+        (dead nodes and their links excluded) -- the connectivity question
+        reconfiguration must answer after a failure.
+        """
+        if live_only:
+            nodes = [n for n in self._nodes if n not in self._dead_nodes]
+            step = self.live_neighbors
+        else:
+            nodes = list(self._nodes)
+            step = self.neighbors
+        if not nodes:
             return True
         seen = set()
-        stack = [next(iter(self._nodes))]
+        stack = [nodes[0]]
         while stack:
             nid = stack.pop()
             if nid in seen:
                 continue
             seen.add(nid)
-            for peer, _ in self.neighbors(nid):
-                if peer not in seen:
+            for peer, _ in step(nid):
+                if peer not in seen and (not live_only or peer not in self._dead_nodes):
                     stack.append(peer)
-        return len(seen) == len(self._nodes)
+        return len(seen) == len(nodes)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -39,37 +39,80 @@ class UpDownRouting:
     """
 
     def __init__(self, topology: Topology, root: Optional[int] = None) -> None:
-        if not topology.is_connected():
+        if topology.fully_alive and not topology.is_connected():
             raise ValueError("up/down routing requires a connected topology")
         self.topology = topology
-        switches = topology.switches
-        if not switches:
+        if not topology.switches:
             raise ValueError("topology has no switches")
-        self.root = switches[0] if root is None else root
-        if topology.node(self.root).kind != "switch":
-            raise ValueError(f"root {self.root} must be a switch")
+        if root is not None and topology.node(root).kind != "switch":
+            raise ValueError(f"root {root} must be a switch")
+        #: The root the caller asked for (kept across rebuilds; a rebuild
+        #: falls back to the lowest live switch while it is dead).
+        self._requested_root = root
+        #: Number of spanning-tree recomputations (0 = the initial build).
+        self.rebuilds = -1
+        self.rebuild()
+
+    def rebuild(self) -> None:
+        """(Re)compute the spanning tree, levels and search adjacency over
+        the topology's *live* subgraph, discarding all memoized routes.
+
+        This is the reconfiguration primitive: after a link/switch failure
+        or repair the up/down tree is recomputed exactly as Autonet does.
+        On a fully-alive topology the result is byte-identical to the
+        original construction (the live subgraph *is* the graph).
+        """
+        topology = self.topology
+        live_switches = [
+            s for s in topology.switches if topology.node_alive(s)
+        ]
+        if not live_switches:
+            raise ValueError("no live switches to route over")
+        root = self._requested_root
+        if root is None or not topology.node_alive(root):
+            root = live_switches[0]
+        self.root = root
         self.level: Dict[int, int] = {}
         self.parent: Dict[int, Optional[int]] = {}
         self._tree_links: Set[int] = set()
-        # Sorted adjacency, computed once: the route BFS visits every node's
-        # neighbor list in deterministic id order, and re-sorting a freshly
-        # built list per visit dominated route-computation time.
+        # Sorted adjacency, computed once per rebuild: the route BFS visits
+        # every node's neighbor list in deterministic id order, and
+        # re-sorting a freshly built list per visit dominated
+        # route-computation time.
         self._sorted_neighbors: Dict[int, List[Tuple[int, Link]]] = {
-            node.id: sorted(topology.neighbors(node.id), key=lambda pair: pair[0])
+            node.id: sorted(
+                topology.live_neighbors(node.id), key=lambda pair: pair[0]
+            )
             for node in topology.nodes
+            if topology.node_alive(node.id)
         }
         self._build_tree()
         # Per-edge search metadata: (peer, link, up_hop, crosslink), in
         # deterministic id order.  Folding is_up/is_crosslink into the
         # adjacency list keeps the BFS inner loop free of dict lookups.
+        # Nodes severed from the root's component carry no search entries:
+        # routes to them fail until a repair reconnects them.
         self._search_adj: Dict[int, List[Tuple[int, Link, bool, bool]]] = {
             nid: [
                 (peer, link, self.is_up(nid, peer), link.id not in self._tree_links)
                 for peer, link in pairs
             ]
             for nid, pairs in self._sorted_neighbors.items()
+            if nid in self.level
         }
         self._route_cache: Dict[Tuple[int, int, bool], Tuple[Hop, ...]] = {}
+        self._topo_version = topology.version
+        self.rebuilds += 1
+
+    def _refresh_if_stale(self) -> None:
+        """Rebuild when the topology mutated since the last build.
+
+        Every memoized-route entry point funnels through this check, so a
+        topology mutation can never serve routes over links that no longer
+        exist (the stale-cache bug dynamic reconfiguration surfaced).
+        """
+        if self.topology.version != self._topo_version:
+            self.rebuild()
 
     # -- spanning tree --------------------------------------------------------
     def _build_tree(self) -> None:
@@ -90,11 +133,13 @@ class UpDownRouting:
     @property
     def tree_links(self) -> Set[int]:
         """Ids of links in the up/down spanning tree."""
+        self._refresh_if_stale()
         return set(self._tree_links)
 
     def is_crosslink(self, link: Link) -> bool:
         """True if ``link`` is not part of the spanning tree (e.g. D-E in
         Figure 3)."""
+        self._refresh_if_stale()
         return link.id not in self._tree_links
 
     def is_up(self, src: int, dst: int) -> bool:
@@ -132,6 +177,7 @@ class UpDownRouting:
         """
         if src == dst:
             return ()
+        self._refresh_if_stale()
         key = (src, dst, restrict_to_tree)
         cached = self._route_cache.get(key)
         if cached is not None:
@@ -155,7 +201,7 @@ class UpDownRouting:
         search_adj = self._search_adj
         while frontier and goal is None:
             node, phase = frontier.popleft()
-            for peer, link, up_hop, crosslink in search_adj[node]:
+            for peer, link, up_hop, crosslink in search_adj.get(node, ()):
                 if restrict_to_tree and crosslink:
                     continue
                 if phase == _DOWN and up_hop:
@@ -194,6 +240,7 @@ class UpDownRouting:
         targets = set(dsts)
         if src in targets:
             raise ValueError("source cannot be a multicast destination")
+        self._refresh_if_stale()
         start = (src, _UP)
         prev: Dict[Tuple[int, int], Tuple[Tuple[int, int], Hop]] = {}
         seen = {start}
@@ -202,7 +249,7 @@ class UpDownRouting:
         search_adj = self._search_adj
         while frontier and len(found) < len(targets):
             node, phase = frontier.popleft()
-            for peer, link, up_hop, crosslink in search_adj[node]:
+            for peer, link, up_hop, crosslink in search_adj.get(node, ()):
                 if restrict_to_tree and crosslink:
                     continue
                 if phase == _DOWN and up_hop:
@@ -256,8 +303,9 @@ class UpDownRouting:
     def down_links(self, switch: int) -> List[Link]:
         """Spanning-tree links leading away from the root at ``switch``
         (the broadcast address of Section 3 forwards to all of these)."""
+        self._refresh_if_stale()
         result = []
-        for peer, link in self.topology.neighbors(switch):
+        for peer, link in self.topology.live_neighbors(switch):
             if link.id in self._tree_links and not self.is_up(switch, peer):
                 result.append(link)
         return result

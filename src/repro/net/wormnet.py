@@ -48,6 +48,7 @@ class Channel:
         "resource",
         "busy_time",
         "acquisitions",
+        "failed",
         "_busy_since",
         "_stats_start",
     )
@@ -61,6 +62,9 @@ class Channel:
         self.resource = Resource(sim, capacity=1)
         self.busy_time = 0.0
         self.acquisitions = 0
+        #: True while the underlying link (or an endpoint) is down; worms
+        #: that touch a failed channel are flushed out of the network.
+        self.failed = False
         self._busy_since = 0.0
         self._stats_start = 0.0
 
@@ -213,10 +217,20 @@ class WormholeNetwork:
         self._route_channel_cache: Dict[Tuple[int, int], Tuple[Channel, ...]] = {}
         self._receivers: Dict[int, ReceiverFn] = {}
         self._head_watchers: Dict[int, ReceiverFn] = {}
+        #: Topology version the channel tables were built against; a
+        #: mismatch triggers :meth:`refresh_topology` (stale-cache guard).
+        self._topo_version = topology.version
+        #: Fault hooks: a predicate forcing individual worms to be flushed
+        #: (deterministic drop injection), and per-host counters of pending
+        #: adapter-buffer faults (the next N worms arriving at the host are
+        #: lost as if a buffer parity error discarded them).
+        self.drop_filter: Optional[Callable[[Worm], bool]] = None
+        self._recv_faults: Dict[int, int] = {}
         # Network-wide statistics.
         self.delivered_worms = 0
         self.delivered_bytes = 0.0
         self.dropped_worms = 0
+        self.orphaned_worms = 0
         self.hop_latency = TallyStat("hop latency")
         self.block_time = TallyStat("block time per transfer")
 
@@ -228,9 +242,42 @@ class WormholeNetwork:
         except KeyError:
             raise KeyError(f"no channel {src}->{dst}") from None
 
+    def refresh_topology(self) -> None:
+        """Re-sync channel tables with the topology after a mutation.
+
+        Creates channels for newly added links, re-marks every channel's
+        ``failed`` flag from component liveness, rebuilds the cached channel
+        list views and invalidates the memoized per-pair route channels
+        (which may now run over dead or new links).
+        """
+        topology = self.topology
+        for link in topology.links:
+            if (link.a, link.b) not in self._channels:
+                self._channels[(link.a, link.b)] = Channel(
+                    self.sim, link, link.a, link.b
+                )
+                self._channels[(link.b, link.a)] = Channel(
+                    self.sim, link, link.b, link.a
+                )
+        for ch in self._channels.values():
+            ch.failed = not topology.link_usable(ch.link)
+        self._channel_list = list(self._channels.values())
+        self._switch_channels = [
+            ch
+            for ch in self._channel_list
+            if topology.node(ch.src).is_switch and topology.node(ch.dst).is_switch
+        ]
+        self._route_channel_cache.clear()
+        self._topo_version = topology.version
+
+    def _refresh_if_stale(self) -> None:
+        if self._topo_version != self.topology.version:
+            self.refresh_topology()
+
     @property
     def channels(self) -> List[Channel]:
         """All directed channels (cached; treat as read-only)."""
+        self._refresh_if_stale()
         return self._channel_list
 
     def set_receiver(self, host: int, fn: ReceiverFn) -> None:
@@ -251,6 +298,7 @@ class WormholeNetwork:
 
         Memoized per (src, dst): the returned tuple is shared across calls.
         """
+        self._refresh_if_stale()
         key = (src_host, dst_host)
         cached = self._route_channel_cache.get(key)
         if cached is not None:
@@ -259,6 +307,21 @@ class WormholeNetwork:
         channels = tuple(self.channel(a, b) for a, b, _ in hops)
         self._route_channel_cache[key] = channels
         return channels
+
+    # -- fault hooks ----------------------------------------------------------
+    def inject_receive_fault(self, host: int, count: int = 1) -> None:
+        """Discard the next ``count`` worms fully arriving at ``host``.
+
+        Models an adapter-buffer fault (parity error, DMA overrun): the
+        worm drains off the wire normally but never reaches the host, so
+        only transport-level repair can recover it.
+        """
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        self._recv_faults[host] = self._recv_faults.get(host, 0) + count
+
+    def pending_receive_faults(self, host: int) -> int:
+        return self._recv_faults.get(host, 0)
 
     # -- sending -------------------------------------------------------------
     def send(self, worm: Worm) -> Transfer:
@@ -269,20 +332,56 @@ class WormholeNetwork:
         if worm.source == worm.dest:
             raise ValueError("use the adapter local-copy path for self-delivery")
         transfer = Transfer(self.sim, worm)
-        channels = self.route_channels(worm.source, worm.dest)
+        try:
+            channels = self.route_channels(worm.source, worm.dest)
+        except ValueError:
+            # No route.  If an endpoint (or its access link) is dead, the
+            # sender cannot know -- it transmits into the void and the worm
+            # orphans, exactly as if the head had hit the failure.  A
+            # missing route between two live endpoints is a real error
+            # (partitioned fabric): surface it.
+            live = self.topology.live_hosts()
+            if worm.source in live and worm.dest in live:
+                raise
+            self.sim.process(
+                self._orphan(transfer), name=f"xfer-w{worm.wid}"
+            )
+            return transfer
+        forced_drop = self.drop_filter is not None and self.drop_filter(worm)
         self.sim.process(
-            self._run(transfer, channels), name=f"xfer-w{worm.wid}"
+            self._run(transfer, channels, forced_drop), name=f"xfer-w{worm.wid}"
         )
         return transfer
 
-    def _run(self, transfer: Transfer, channels: Tuple[Channel, ...]):
+    def _orphan(self, transfer: Transfer):
+        """Flush a worm that hit a failed component: the sender still
+        transmits the tail (it learns nothing at the network level), but no
+        receiver ever sees the worm."""
+        sim = self.sim
+        transfer.dropped = True
+        yield sim.timeout(transfer.worm.length)
+        transfer.finish_time = sim.now
+        self.orphaned_worms += 1
+        transfer.completed.succeed(transfer)
+
+    def _run(
+        self,
+        transfer: Transfer,
+        channels: Tuple[Channel, ...],
+        forced_drop: bool = False,
+    ):
         sim = self.sim
         worm = transfer.worm
         drop_after = None
-        if self.loss_rate and self._loss_stream.bernoulli(self.loss_rate):
+        if forced_drop:
+            drop_after = 1
+        elif self.loss_rate and self._loss_stream.bernoulli(self.loss_rate):
             drop_after = self._loss_stream.randint(1, len(channels))
         hops_done = 0
         for ch in channels:
+            if ch.failed:
+                yield from self._orphan(transfer)
+                return
             request = ch.acquire()
             if not request.triggered:
                 transfer.blocked_hops += 1
@@ -294,6 +393,11 @@ class WormholeNetwork:
             else:
                 yield request
             ch.on_granted(sim.now)
+            if ch.failed:
+                # The link died while we held or awaited it: the worm is cut.
+                ch.release(request, sim.now)
+                yield from self._orphan(transfer)
+                return
             yield sim.timeout(self.switch_latency + ch.prop_delay)
             # The tail passes this channel ``length`` byte-times after the
             # head crossed it, plus any stream stall the head suffers while
@@ -310,6 +414,20 @@ class WormholeNetwork:
                 self.dropped_worms += 1
                 transfer.completed.succeed(transfer)
                 return
+
+        pending = self._recv_faults.get(worm.dest, 0)
+        if pending:
+            # Adapter-buffer fault: the worm drains but is discarded.
+            if pending == 1:
+                del self._recv_faults[worm.dest]
+            else:
+                self._recv_faults[worm.dest] = pending - 1
+            yield from self._orphan(transfer)
+            return
+        if not self.topology.node_alive(worm.dest):
+            # The destination host crashed: nobody is listening.
+            yield from self._orphan(transfer)
+            return
 
         transfer.head_time = sim.now
 
@@ -364,11 +482,18 @@ class WormholeNetwork:
         self.delivered_worms = 0
         self.delivered_bytes = 0.0
         self.dropped_worms = 0
+        self.orphaned_worms = 0
         self.hop_latency = TallyStat("hop latency")
         self.block_time = TallyStat("block time per transfer")
 
     def mean_utilization(self) -> float:
         """Average channel utilization across switch-to-switch channels."""
+        self._refresh_if_stale()
         now = self.sim.now
         values = [ch.utilization(now) for ch in self._switch_channels]
         return sum(values) / len(values) if values else 0.0
+
+    def delivery_ratio(self) -> float:
+        """Delivered / attempted worms since the last stats reset."""
+        attempted = self.delivered_worms + self.dropped_worms + self.orphaned_worms
+        return self.delivered_worms / attempted if attempted else 1.0

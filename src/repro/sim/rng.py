@@ -38,6 +38,12 @@ class Stream:
         # Shifted geometric: X = minimum + G where G >= 0, E[G] = mean - minimum.
         p = 1.0 / (mean - minimum + 1.0)
         u = self._rng.random()
+        if u >= 1.0:
+            # random.Random.random() is half-open, but a swapped-in
+            # generator (tests, numpy bridges) may return exactly 1.0,
+            # which would pass log(0.0) below.  The clamp is the largest
+            # double below 1.0, so genuine draws are never altered.
+            u = 1.0 - 2.0 ** -53
         g = int(math.floor(math.log(1.0 - u) / math.log(1.0 - p)))
         return minimum + g
 

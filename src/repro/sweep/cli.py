@@ -134,6 +134,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis import format_results_table
 
         print(format_results_table(records_to_results(outcome.records)))
+    elif spec.kind == "fault_campaign":
+        from repro.analysis import format_availability_table
+
+        print(format_availability_table(outcome.records))
+    elif spec.kind == "repair_campaign":
+        from repro.analysis import format_repair_table
+
+        print(format_repair_table(outcome.records))
     else:
         from repro.analysis import format_table
 

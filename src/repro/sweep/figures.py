@@ -105,9 +105,72 @@ def fig12_spec(
     )
 
 
+#: Fault-campaign grid: availability over load as link failures mount.
+FAULTS_LOADS = [0.04, 0.06, 0.08]
+FAULTS_LINK_FAILURES = [0, 1, 2]
+#: Repair-campaign grid: recovery cost as injected losses mount.
+REPAIR_DROPS = [0, 3, 6, 9]
+
+
+def faults_spec(
+    loads: Optional[Sequence[float]] = None,
+    link_failures: Optional[Sequence[int]] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> SweepSpec:
+    """Availability campaign: delivery ratio / reconvergence over load and
+    injected link-failure count on the 8x8 torus (the robustness
+    counterpart of the Figure 10 grid)."""
+    return SweepSpec(
+        kind="fault_campaign",
+        grid={
+            "link_failures": list(link_failures or FAULTS_LINK_FAILURES),
+            "load": list(loads or FAULTS_LOADS),
+        },
+        base={
+            "rows": 8,
+            "cols": 8,
+            "scheme": "hamiltonian-sf",
+            "multicast_fraction": 0.1,
+            "mean_length": 400.0,
+            "group_count": 10,
+            "group_size": 10,
+            "downtime": 100_000.0,
+            "warmup_time": 50_000.0 * max(0.4, scale),
+            "measure_time": 400_000.0 * max(0.2, scale),
+        },
+        base_seed=seed,
+    )
+
+
+def repair_spec(
+    drops: Optional[Sequence[int]] = None,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> SweepSpec:
+    """Loss-recovery campaign: [FJM+95] transport repair under injected
+    worm drops, measuring total recovery and repair-byte overhead."""
+    return SweepSpec(
+        kind="repair_campaign",
+        grid={
+            "drops": list(drops or REPAIR_DROPS),
+        },
+        base={
+            "rows": 4,
+            "cols": 4,
+            "members_count": 6,
+            "messages": scaled(20, scale, minimum=10),
+            "recv_faults": 1,
+        },
+        base_seed=seed,
+    )
+
+
 FIGURE_SPECS = {
     "fig10": fig10_spec,
     "fig11": fig11_spec,
     "fig12": fig12_spec,
     "fig13": fig12_spec,  # same sweep; Figure 13 reads the loss column
+    "faults": faults_spec,
+    "repair": repair_spec,
 }

@@ -108,6 +108,66 @@ def _load_point(params: Dict[str, Any]) -> Dict[str, Any]:
     return sanitize_record(dataclasses.asdict(result))
 
 
+@point_kind("fault_campaign")
+def _fault_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One availability-under-faults measurement (multicast workload on a
+    torus with injected link failures and Autonet-style recovery).
+
+    Required params: ``link_failures``.  Optional: ``rows``, ``cols``,
+    ``scheme``, ``load``, ``multicast_fraction``, ``mean_length``,
+    ``group_count``, ``group_size``, ``downtime``, ``warmup_time``,
+    ``measure_time``, ``detection_delay``, ``seed``.
+    """
+    from repro.faults.campaign import run_fault_campaign
+
+    record = run_fault_campaign(
+        rows=int(params.get("rows", 8)),
+        cols=int(params.get("cols", 8)),
+        scheme=params.get("scheme", "hamiltonian-sf"),
+        load=float(params.get("load", 0.06)),
+        multicast_fraction=float(params.get("multicast_fraction", 0.1)),
+        mean_length=float(params.get("mean_length", 400.0)),
+        group_count=int(params.get("group_count", 10)),
+        group_size=int(params.get("group_size", 10)),
+        link_failures=int(params["link_failures"]),
+        downtime=float(params.get("downtime", 100_000.0)),
+        warmup_time=float(params.get("warmup_time", 100_000.0)),
+        measure_time=float(params.get("measure_time", 400_000.0)),
+        detection_delay=float(params.get("detection_delay", 100.0)),
+        seed=int(params.get("seed", 1)),
+    )
+    return sanitize_record(record)
+
+
+@point_kind("repair_campaign")
+def _repair_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One transport-repair recovery measurement (repair chain under
+    injected worm drops and adapter-buffer faults).
+
+    Required params: ``drops``.  Optional: ``rows``, ``cols``,
+    ``members_count``, ``messages``, ``spacing``, ``length``,
+    ``recv_faults``, ``request_timeout``, ``heartbeat_period``,
+    ``max_sim_time``, ``seed``.
+    """
+    from repro.faults.campaign import run_repair_campaign
+
+    record = run_repair_campaign(
+        rows=int(params.get("rows", 4)),
+        cols=int(params.get("cols", 4)),
+        members_count=int(params.get("members_count", 6)),
+        messages=int(params.get("messages", 20)),
+        spacing=float(params.get("spacing", 2_000.0)),
+        length=int(params.get("length", 400)),
+        drops=int(params["drops"]),
+        recv_faults=int(params.get("recv_faults", 0)),
+        seed=int(params.get("seed", 1)),
+        request_timeout=float(params.get("request_timeout", 3_000.0)),
+        heartbeat_period=float(params.get("heartbeat_period", 10_000.0)),
+        max_sim_time=float(params.get("max_sim_time", 5e6)),
+    )
+    return sanitize_record(record)
+
+
 @point_kind("myrinet_throughput")
 def _myrinet_throughput(params: Dict[str, Any]) -> Dict[str, Any]:
     """One Myrinet testbed point (Figures 12/13).

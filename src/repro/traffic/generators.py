@@ -97,7 +97,7 @@ class TrafficGenerator:
         arrivals = self.rng.stream(f"traffic.arrivals.h{host}")
         lengths = self.rng.stream(f"traffic.lengths.h{host}")
         choices = self.rng.stream(f"traffic.choices.h{host}")
-        groups = self.engine.groups.groups_of(host)
+        topology = self.engine.net.topology
         others = [h for h in self.hosts if h != host]
         if not others:
             return
@@ -107,6 +107,14 @@ class TrafficGenerator:
                 lengths.geometric(config.mean_length, minimum=config.min_length),
                 config.max_length,
             )
+            if not topology.node_alive(host):
+                # A crashed host stops generating, but the RNG draws above
+                # still happen so its streams stay aligned if it comes back.
+                continue
+            # Re-resolved every message: host death splices members out of
+            # (or dissolves) groups mid-run.  Fault-free runs see a static
+            # list, and no RNG draw depends on it until `if groups`.
+            groups = self.engine.groups.groups_of(host)
             self.generated_worms += 1
             if groups and choices.bernoulli(config.multicast_fraction):
                 group = choices.choice(groups)

@@ -481,3 +481,40 @@ def test_copy_latency_applied():
         sim.run()
         latencies[label] = message.completion_latency()
     assert latencies["slow"] > latencies["fast"]
+
+
+# ---------------------------------------------------------------------------
+# Host-failure repair (fault subsystem)
+# ---------------------------------------------------------------------------
+
+
+def test_handle_host_failure_splices_and_dissolves():
+    sim, topo, net, engine = _engine()
+    hosts = topo.hosts
+    big = hosts[:4]
+    pair = [hosts[0], hosts[5]]
+    engine.create_group(1, big, Scheme.HAMILTONIAN)
+    engine.create_group(2, pair, Scheme.TREE)
+    outcome = engine.handle_host_failure(hosts[0])
+    assert outcome == {"repaired": [1], "dissolved": [2]}
+    assert engine.group_repairs == 1
+    assert engine.groups_dissolved == 1
+    # The big group survives without the dead member and still delivers.
+    state = engine.group_state(1)
+    assert hosts[0] not in state.group.members
+    message = engine.multicast(origin=big[1], gid=1, length=200)
+    sim.run()
+    assert message.complete
+    assert set(message.deliveries) == set(big[1:]) - {big[1]}
+    # The dissolved pair is gone from the registry.
+    with pytest.raises(KeyError):
+        engine.group_state(2)
+
+
+def test_handle_host_failure_ignores_unrelated_groups():
+    sim, topo, net, engine = _engine()
+    hosts = topo.hosts
+    engine.create_group(1, hosts[1:4], Scheme.TREE)
+    outcome = engine.handle_host_failure(hosts[0])
+    assert outcome == {"repaired": [], "dissolved": []}
+    assert engine.group_repairs == 0

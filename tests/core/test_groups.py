@@ -104,3 +104,23 @@ def test_random_groups_too_large():
     stream = RandomStreams(seed=3).stream("groups")
     with pytest.raises(ValueError):
         table.random_groups([1], [1, 2, 3], 4, stream)
+
+
+def test_remove_member_keeps_order():
+    group = MulticastGroup(1, [30, 10, 20, 40])
+    group.remove_member(20)
+    assert group.members == [10, 30, 40]
+    assert group.lowest == 10
+
+
+def test_remove_member_unknown_host_rejected():
+    group = MulticastGroup(1, [1, 2, 3])
+    with pytest.raises(ValueError):
+        group.remove_member(99)
+
+
+def test_remove_member_never_empties_group():
+    group = MulticastGroup(1, [1, 2])
+    group.remove_member(2)
+    with pytest.raises(ValueError):
+        group.remove_member(1)

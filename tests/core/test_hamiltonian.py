@@ -149,3 +149,21 @@ def test_two_opt_no_longer_than_id_order():
     assert circuit_hop_length(opt_circuit, routing) <= circuit_hop_length(
         id_circuit, routing
     )
+
+
+def test_remove_member_splices_and_keeps_one_reversal():
+    circuit = HamiltonianCircuit(_group([10, 20, 30, 40]))
+    circuit.remove_member(20)
+    assert circuit.sequence == [10, 30, 40]
+    assert circuit.reversal_count() == 1
+    assert circuit.successor(10) == 30
+    assert circuit.predecessor(30) == 10
+
+
+def test_remove_member_errors():
+    circuit = HamiltonianCircuit(_group([10, 20, 30]))
+    with pytest.raises(ValueError):
+        circuit.remove_member(99)
+    circuit.remove_member(20)
+    with pytest.raises(ValueError):
+        circuit.remove_member(30)  # cannot shrink below two members

@@ -132,3 +132,94 @@ def test_idle_session_quiesces():
     session.send(length=100)
     sim.run()  # must terminate despite the heartbeat loop
     assert session.all_complete()
+
+
+def test_request_damping_under_concurrent_timeouts():
+    """With position scaling off, every downstream member times out at
+    nearly the same instant; the damping window collapses the flood of
+    requests travelling up the chain."""
+    sim, net, session = _session(
+        loss=0.0,
+        config=RepairConfig(
+            request_timeout=3_000.0,
+            timeout_step=0.0,
+            jitter=100.0,
+            damping_interval=5_000.0,
+            heartbeat_period=50_000.0,
+        ),
+    )
+    net.loss_rate = 0.999  # force-drop the first message at its first hop
+    session.send(length=300)
+    sim.run(until=1.0)
+    net.loss_rate = 0.0
+    # Expose the gap to every downstream member at the same instant (as a
+    # heartbeat would): their timers all expire within one jitter window,
+    # and the requests cascading up the chain hit hosts that just sent
+    # their own request for the same sequence.
+    for host in session.members[1:]:
+        session._check_gaps(host, 1)
+    sim.run(until=1_000_000)
+    assert session.all_complete()
+    assert session.requests_damped > 0
+    assert session.requests_sent < len(session.members) ** 2
+
+
+def test_request_timer_backs_off_exponentially():
+    sim, net, session = _session(
+        config=RepairConfig(
+            request_timeout=1_000.0,
+            timeout_step=0.0,
+            jitter=0.0,
+            backoff_factor=2.0,
+            max_timeout=5_000.0,
+            damping_interval=0.0,
+        ),
+    )
+    fired = []
+    session._send_request = lambda host, seq: fired.append(sim.now)
+    member = session.members[1]
+    session._check_gaps(member, 1)  # member believes seq 0 exists but is lost
+    sim.run(until=20_000.0)
+    deltas = [b - a for a, b in zip(fired, fired[1:])]
+    # 1000, then x2 each round, capped at max_timeout: 2000, 4000, 5000, 5000
+    assert fired[0] == 1_000.0
+    assert deltas == [2_000.0, 4_000.0, 5_000.0, 5_000.0, 5_000.0][: len(deltas)]
+    assert len(deltas) >= 3
+
+
+def test_overhead_accounting():
+    sim, net, session = _session(loss=0.0, members_count=5)
+
+    def traffic():
+        for _ in range(3):
+            session.send(length=200)
+            yield sim.timeout(1_000)
+
+    sim.process(traffic())
+    sim.run(until=1_000_000)
+    assert session.all_complete()
+    overhead = session.overhead()
+    # Each of the 3 messages is forwarded down 4 chain links.
+    assert overhead["data_bytes"] == 3 * 200 * 4
+    assert overhead["repair_bytes"] == 0
+    assert overhead["requests_sent"] == 0
+    assert session.repair_overhead_ratio() == (
+        overhead["control_bytes"] / overhead["data_bytes"]
+    )
+
+
+def test_overhead_ratio_grows_with_loss():
+    sim, net, session = _session(loss=0.25, seed=9)
+
+    def traffic():
+        for _ in range(10):
+            session.send(length=300)
+            yield sim.timeout(1_500)
+
+    sim.process(traffic())
+    sim.run(until=20_000_000)
+    assert session.all_complete()
+    assert session.repair_overhead_ratio() > 0.0
+    overhead = session.overhead()
+    assert overhead["repair_bytes"] > 0
+    assert overhead["control_bytes"] > 0

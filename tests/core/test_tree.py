@@ -143,3 +143,41 @@ def test_tree_hop_length_counts_edges():
         routing.hop_count(tree.parent(m), m) for m in members if tree.parent(m)
     )
     assert total == manual
+
+
+def test_remove_member_reattaches_children_to_parent():
+    members = [1, 2, 3, 4, 5, 6, 7]
+    group = _group(members)
+    tree = RootedTree(group, branching=2)
+    victim = 2
+    orphans = tree.children(victim)
+    group.remove_member(victim)
+    tree.remove_member(victim)
+    assert tree.id_rule_holds()
+    assert tree.covers_all_members()
+    for child in orphans:
+        assert tree.parent(child) == 1
+    with pytest.raises(ValueError):
+        tree.parent(victim)
+
+
+def test_remove_root_promotes_lowest_child():
+    members = [1, 2, 3, 4, 5]
+    group = _group(members)
+    tree = RootedTree(group, branching=2)
+    group.remove_member(1)
+    tree.remove_member(1)
+    assert tree.root == 2
+    assert tree.parent(2) is None
+    assert tree.id_rule_holds()
+    assert tree.covers_all_members()
+
+
+def test_remove_member_errors():
+    tree = RootedTree(_group([1, 2, 3]))
+    with pytest.raises(ValueError):
+        tree.remove_member(99)
+    tree.group.remove_member(3)
+    tree.remove_member(3)
+    with pytest.raises(ValueError):
+        tree.remove_member(2)  # cannot shrink below two members

@@ -1,0 +1,122 @@
+"""Tests for the fault/repair campaign runners and their sweep bindings."""
+
+from repro.faults import FaultEvent, FaultSchedule
+from repro.faults.campaign import (
+    link_failure_schedule,
+    run_fault_campaign,
+    run_repair_campaign,
+)
+from repro.net import torus
+from repro.sweep.points import execute_point
+
+
+def _small_fault_campaign(**overrides):
+    params = dict(
+        rows=4,
+        cols=4,
+        load=0.05,
+        group_count=4,
+        group_size=4,
+        link_failures=1,
+        downtime=40_000.0,
+        warmup_time=20_000.0,
+        measure_time=100_000.0,
+        seed=3,
+    )
+    params.update(overrides)
+    return run_fault_campaign(**params)
+
+
+def test_link_failure_schedule_spacing_and_repair():
+    topo = torus(4, 4)
+    schedule = link_failure_schedule(
+        topo, count=2, first_at=10_000.0, window=40_000.0, downtime=5_000.0
+    )
+    fails = [ev for ev in schedule if ev.kind == "link_fail"]
+    repairs = [ev for ev in schedule if ev.kind == "link_repair"]
+    assert len(fails) == 2 and len(repairs) == 2
+    assert [ev.time for ev in fails] == [
+        10_000.0 + 40_000.0 / 3,
+        10_000.0 + 2 * 40_000.0 / 3,
+    ]
+    for fail, repair in zip(
+        sorted(fails, key=lambda e: e.target),
+        sorted(repairs, key=lambda e: e.target),
+    ):
+        assert repair.target == fail.target
+        assert repair.time == fail.time + 5_000.0
+
+
+def test_fault_campaign_is_byte_reproducible():
+    first = _small_fault_campaign()
+    second = _small_fault_campaign()
+    assert first == second
+    assert first["event_log"]  # faults actually fired
+    assert first["metrics"]["faults_applied"] == 2  # fail + repair
+    assert first["metrics"]["reconfigurations"] == 2
+    assert len(first["metrics"]["reconvergence_times"]) == 2
+    assert first["deadlock_free"] is True
+    assert first["messages_completed"] > 0
+
+
+def test_fault_campaign_scripted_node_fail_repairs_groups():
+    topo = torus(4, 4)
+    victim = topo.hosts[0]
+    record = _small_fault_campaign(
+        schedule=FaultSchedule([FaultEvent(30_000.0, "node_fail", victim)]),
+    )
+    metrics = record["metrics"]
+    # The dead host is spliced out of (or dissolves) every group it was in.
+    assert metrics["group_repairs"] + metrics["groups_dissolved"] > 0
+    assert metrics["reconfigurations"] == 1
+    assert record["event_log"] == [
+        f"30000.000000 node_fail target={victim} param=1"
+    ]
+
+
+def test_repair_campaign_recovers_all_losses():
+    record = run_repair_campaign(
+        rows=4,
+        cols=4,
+        members_count=6,
+        messages=12,
+        drops=4,
+        recv_faults=1,
+        seed=2,
+    )
+    assert record["recovered_all"] is True
+    assert record["losses_injected"] > 0
+    overhead = record["metrics"]["repair_overhead"]
+    assert overhead["requests_sent"] > 0
+    assert overhead["repairs_sent"] > 0
+    assert overhead["overhead_ratio"] > 0.0
+    assert record["max_latency"] is not None
+
+
+def test_repair_campaign_is_byte_reproducible():
+    kwargs = dict(messages=8, drops=3, seed=5)
+    assert run_repair_campaign(**kwargs) == run_repair_campaign(**kwargs)
+
+
+def test_sweep_point_kinds_run_the_campaigns():
+    fault_record = execute_point(
+        "fault_campaign",
+        {
+            "rows": 4,
+            "cols": 4,
+            "load": 0.05,
+            "group_count": 3,
+            "group_size": 4,
+            "link_failures": 0,
+            "warmup_time": 10_000.0,
+            "measure_time": 40_000.0,
+            "seed": 1,
+        },
+    )
+    assert fault_record["metrics"]["faults_applied"] == 0
+    assert fault_record["metrics"]["delivery_ratio"] == 1.0
+
+    repair_record = execute_point(
+        "repair_campaign", {"messages": 6, "drops": 2, "seed": 4}
+    )
+    assert repair_record["recovered_all"] is True

@@ -1,0 +1,158 @@
+"""Tests for the fault injector: hook dispatch, drop budgets, logging."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultInjector, FaultSchedule
+from repro.net import Topology, Worm, WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+def _line_net(n=3):
+    sim = Simulator()
+    topo = Topology()
+    switches = [topo.add_switch() for _ in range(n)]
+    for a, b in zip(switches, switches[1:]):
+        topo.add_link(a, b)
+    hosts = [topo.add_host(s) for s in switches]
+    net = WormholeNetwork(sim, topo)
+    return sim, topo, net, hosts
+
+
+def test_events_apply_at_their_times():
+    sim, topo, net, hosts = _line_net()
+    link_id = next(
+        l.id
+        for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    )
+    injector = FaultInjector(
+        sim,
+        net,
+        FaultSchedule(
+            [
+                FaultEvent(100.0, "link_fail", link_id),
+                FaultEvent(250.0, "link_repair", link_id),
+            ]
+        ),
+    )
+    injector.start()
+    sim.run(until=99.0)
+    assert topo.link_alive(link_id)
+    sim.run(until=101.0)
+    assert not topo.link_alive(link_id)
+    sim.run(until=260.0)
+    assert topo.link_alive(link_id)
+    assert injector.applied == 2
+    assert injector.log == [
+        f"100.000000 link_fail target={link_id} param=1",
+        f"250.000000 link_repair target={link_id} param=1",
+    ]
+
+
+def test_node_fail_orphans_traffic_until_repair():
+    sim, topo, net, hosts = _line_net()
+    injector = FaultInjector(
+        sim,
+        net,
+        FaultSchedule(
+            [
+                FaultEvent(0.0, "node_fail", hosts[2]),
+                FaultEvent(50.0, "node_repair", hosts[2]),
+            ]
+        ),
+    )
+    injector.start()
+    sim.run(until=1.0)
+    assert not topo.node_alive(hosts[2])
+    # The sender cannot know the far end died: the worm transmits and
+    # orphans rather than raising into the sender's process.
+    transfer = net.send(Worm(source=hosts[0], dest=hosts[2], length=50))
+    sim.run(until=60.0)
+    assert transfer.dropped
+    assert net.orphaned_worms == 1
+    assert topo.node_alive(hosts[2])
+    ok = net.send(Worm(source=hosts[0], dest=hosts[2], length=50))
+    sim.run()
+    assert not ok.dropped
+
+
+def test_worm_drop_budget_targets_source():
+    sim, topo, net, hosts = _line_net()
+    injector = FaultInjector(
+        sim,
+        net,
+        FaultSchedule([FaultEvent(0.0, "worm_drop", hosts[0], param=2)]),
+    )
+    injector.start()
+    sim.run(until=1.0)
+    assert injector.pending_drops(hosts[0]) == 2
+    dropped = net.send(Worm(source=hosts[0], dest=hosts[2], length=50))
+    unaffected = net.send(Worm(source=hosts[1], dest=hosts[2], length=50))
+    sim.run()
+    assert dropped.dropped and not unaffected.dropped
+    assert injector.pending_drops() == 1
+    second = net.send(Worm(source=hosts[0], dest=hosts[2], length=50))
+    third = net.send(Worm(source=hosts[0], dest=hosts[2], length=50))
+    sim.run()
+    assert second.dropped and not third.dropped
+    assert injector.pending_drops() == 0
+
+
+def test_recv_fault_discards_at_destination():
+    sim, topo, net, hosts = _line_net()
+    injector = FaultInjector(
+        sim,
+        net,
+        FaultSchedule([FaultEvent(0.0, "recv_fault", hosts[2], param=1)]),
+    )
+    injector.start()
+    sim.run(until=1.0)
+    lost = net.send(Worm(source=hosts[0], dest=hosts[2], length=50))
+    sim.run()
+    assert lost.dropped
+    assert net.orphaned_worms == 1
+    ok = net.send(Worm(source=hosts[0], dest=hosts[2], length=50))
+    sim.run()
+    assert not ok.dropped
+
+
+def test_injector_claims_the_drop_filter():
+    sim, topo, net, hosts = _line_net()
+    net.drop_filter = lambda worm: False
+    with pytest.raises(ValueError):
+        FaultInjector(sim, net, FaultSchedule())
+
+
+def test_log_is_reproducible():
+    def run():
+        sim, topo, net, hosts = _line_net()
+        schedule = FaultSchedule(
+            [
+                FaultEvent(10.0, "node_fail", hosts[1]),
+                FaultEvent(20.0, "node_repair", hosts[1]),
+                FaultEvent(30.0, "worm_drop", -1, param=3),
+            ]
+        )
+        injector = FaultInjector(sim, net, schedule)
+        injector.start()
+        sim.run(until=100.0)
+        return injector.log
+
+    assert run() == run()
+
+
+def test_campaign_on_torus_smoke():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    link_id = next(
+        l.id
+        for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    )
+    injector = FaultInjector(
+        sim, net, FaultSchedule([FaultEvent(5.0, "link_fail", link_id)])
+    )
+    injector.start()
+    sim.run(until=10.0)
+    assert link_id in topo.dead_links

@@ -1,0 +1,142 @@
+"""Tests for the recovery plane: detection delay, records, engine dispatch."""
+
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    RecoveryConfig,
+    RecoveryManager,
+)
+from repro.net import Topology, WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+def _torus_net(rows=3, cols=3):
+    sim = Simulator()
+    topo = torus(rows, cols)
+    net = WormholeNetwork(sim, topo)
+    return sim, topo, net
+
+
+def _fabric_link(topo):
+    return next(
+        l.id
+        for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    )
+
+
+def test_rebuild_happens_after_detection_delay():
+    sim, topo, net = _torus_net()
+    recovery = RecoveryManager(
+        sim, net, config=RecoveryConfig(detection_delay=100.0)
+    )
+    before = net.routing.rebuilds
+    link_id = _fabric_link(topo)
+    injector = FaultInjector(
+        sim, net, FaultSchedule([FaultEvent(500.0, "link_fail", link_id)])
+    )
+    injector.start()
+    sim.run(until=550.0)
+    assert net.routing.rebuilds == before  # fault seen, not yet detected
+    assert recovery.reconfigurations == 0
+    sim.run(until=650.0)
+    assert net.routing.rebuilds == before + 1
+    assert recovery.reconfigurations == 1
+
+
+def test_reconvergence_record_fields():
+    sim, topo, net = _torus_net()
+    config = RecoveryConfig(detection_delay=100.0, cost_per_switch=10.0)
+    recovery = RecoveryManager(sim, net, config=config)
+    link_id = _fabric_link(topo)
+    injector = FaultInjector(
+        sim, net, FaultSchedule([FaultEvent(1_000.0, "link_fail", link_id)])
+    )
+    injector.start()
+    sim.run(until=5_000.0)
+    (record,) = recovery.records
+    assert record.cause == "link_fail"
+    assert record.target == link_id
+    assert record.fault_time == 1_000.0
+    assert record.detected_at == 1_100.0
+    live_switches = sum(1 for s in topo.switches if topo.node_alive(s))
+    assert record.converged_at == 1_100.0 + 10.0 * live_switches
+    assert recovery.reconvergence_times() == [record.reconvergence_time]
+    assert record.reconvergence_time == 100.0 + 10.0 * live_switches
+
+
+def test_repair_also_triggers_reconfiguration():
+    sim, topo, net = _torus_net()
+    recovery = RecoveryManager(sim, net)
+    link_id = _fabric_link(topo)
+    injector = FaultInjector(
+        sim,
+        net,
+        FaultSchedule(
+            [
+                FaultEvent(100.0, "link_fail", link_id),
+                FaultEvent(5_000.0, "link_repair", link_id),
+            ]
+        ),
+    )
+    injector.start()
+    sim.run(until=10_000.0)
+    assert [r.cause for r in recovery.records] == ["link_fail", "link_repair"]
+
+
+def test_host_death_dispatches_to_engine():
+    sim, topo, net = _torus_net()
+
+    class EngineStub:
+        def __init__(self):
+            self.failed_hosts = []
+
+        def handle_host_failure(self, host):
+            self.failed_hosts.append(host)
+            return {"repaired": [], "dissolved": []}
+
+    engine = EngineStub()
+    recovery = RecoveryManager(sim, net, engine=engine)
+    victim = topo.hosts[0]
+    switch = topo.switches[0]
+    injector = FaultInjector(
+        sim,
+        net,
+        FaultSchedule(
+            [
+                FaultEvent(100.0, "node_fail", victim),
+                # A switch death must NOT be dispatched to the engine.
+                FaultEvent(200.0, "node_fail", switch),
+            ]
+        ),
+    )
+    injector.start()
+    sim.run(until=1_000.0)
+    assert engine.failed_hosts == [victim]
+    assert recovery.reconfigurations == 2
+
+
+def test_detach_stops_reacting():
+    sim, topo, net = _torus_net()
+    recovery = RecoveryManager(sim, net)
+    recovery.detach()
+    topo.fail_link(_fabric_link(topo))
+    sim.run(until=1_000.0)
+    assert recovery.reconfigurations == 0
+
+
+def test_partition_is_counted():
+    sim = Simulator()
+    topo = Topology()
+    s0, s1 = topo.add_switch(), topo.add_switch()
+    bridge = topo.add_link(s0, s1)
+    h0, h1 = topo.add_host(s0), topo.add_host(s1)
+    net = WormholeNetwork(sim, topo)
+    recovery = RecoveryManager(sim, net)
+    injector = FaultInjector(
+        sim, net, FaultSchedule([FaultEvent(10.0, "link_fail", bridge.id)])
+    )
+    injector.start()
+    sim.run(until=1_000.0)
+    assert recovery.partitions_seen == 1

@@ -1,0 +1,92 @@
+"""Tests for fault schedules: validation, ordering, serialization, sampling."""
+
+import pytest
+
+from repro.faults import FaultEvent, FaultSchedule
+from repro.sim.rng import RandomStreams
+
+
+def test_event_validates_kind_time_param():
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, "meteor_strike", 1)
+    with pytest.raises(ValueError):
+        FaultEvent(-1.0, "link_fail", 1)
+    with pytest.raises(ValueError):
+        FaultEvent(0.0, "recv_fault", 1, param=0)
+
+
+def test_schedule_sorts_by_time_keeping_given_order_at_ties():
+    fail = FaultEvent(100.0, "link_fail", 3)
+    repair = FaultEvent(100.0, "link_repair", 3)
+    late = FaultEvent(200.0, "node_fail", 7)
+    early = FaultEvent(50.0, "worm_drop", -1)
+    schedule = FaultSchedule([fail, repair, late, early])
+    assert schedule.events == (early, fail, repair, late)
+    assert schedule.horizon == 200.0
+
+
+def test_json_roundtrip_is_canonical():
+    schedule = FaultSchedule(
+        [
+            FaultEvent(10.0, "link_fail", 2),
+            FaultEvent(25.0, "recv_fault", 5, param=3),
+        ]
+    )
+    text = schedule.to_json()
+    assert FaultSchedule.from_json(text) == schedule
+    # Canonical: serializing the round-tripped schedule yields the same bytes.
+    assert FaultSchedule.from_json(text).to_json() == text
+
+
+def test_random_schedule_is_deterministic():
+    def build():
+        stream = RandomStreams(11).stream("faults.schedule")
+        return FaultSchedule.random(
+            stream,
+            duration=1e6,
+            link_ids=[4, 2, 9],
+            link_mttf=2e5,
+            link_mttr=5e4,
+            node_ids=[1],
+            node_mttf=8e5,
+            node_mttr=1e5,
+        )
+
+    first, second = build(), build()
+    assert first == second
+    assert first.to_json() == second.to_json()
+    assert len(first) > 0
+    # Alternation: per target, fail and repair events interleave.
+    for target in (4, 2, 9):
+        kinds = [ev.kind for ev in first if ev.target == target]
+        assert kinds == ["link_fail", "link_repair"] * (len(kinds) // 2) + (
+            ["link_fail"] if len(kinds) % 2 else []
+        )
+
+
+def test_fault_stream_does_not_perturb_traffic_streams():
+    """Drawing the fault substream must not shift any other substream --
+    the discipline that keeps fault campaigns comparable to fault-free
+    baselines at the same seed."""
+    plain = RandomStreams(7)
+    baseline = [plain.stream("traffic.arrivals").random() for _ in range(5)]
+
+    with_faults = RandomStreams(7)
+    FaultSchedule.random(
+        with_faults.stream("faults.schedule"),
+        duration=1e6,
+        link_ids=[0, 1, 2],
+        link_mttf=1e5,
+        link_mttr=1e4,
+    )
+    assert [
+        with_faults.stream("traffic.arrivals").random() for _ in range(5)
+    ] == baseline
+
+
+def test_zero_mttr_means_permanent_failures():
+    stream = RandomStreams(3).stream("faults.schedule")
+    schedule = FaultSchedule.random(
+        stream, duration=1e7, link_ids=[0], link_mttf=1e5, link_mttr=0.0
+    )
+    assert [ev.kind for ev in schedule] == ["link_fail"]

@@ -90,3 +90,24 @@ def test_stats_reset():
     adapters[1].stats.reset()
     assert adapters[1].stats.received_packets == 0
     assert adapters[1].stats.loss_rate == 0.0
+
+
+def test_injected_buffer_fault_discards_next_arrivals():
+    sim = Simulator()
+    adapter = MyrinetAdapter(sim, 0, LanaiConfig())
+    adapter.inject_buffer_fault(count=2)
+    for _ in range(3):
+        adapter.receive(Packet(origin=1, size=512, hop_count=1, created_us=0.0))
+    assert adapter.stats.arrivals == 3
+    assert adapter.stats.drops == 2
+    assert adapter.stats.injected_drops == 2
+    sim.run(until=10_000)
+    # The third packet survived the fault window and was processed.
+    assert adapter.stats.received_packets == 1
+
+
+def test_injected_buffer_fault_validates_count():
+    sim = Simulator()
+    adapter = MyrinetAdapter(sim, 0, LanaiConfig())
+    with pytest.raises(ValueError):
+        adapter.inject_buffer_fault(count=-1)

@@ -1,0 +1,169 @@
+"""Topology liveness API and lazy stale-cache invalidation.
+
+The satellite guarantee: mutating a topology (failing a link or node)
+invalidates every memoized route and channel view *lazily* -- the next
+lookup sees fresh state, with no explicit rebuild call required.
+"""
+
+import pytest
+
+from repro.net import Topology, UpDownRouting, Worm, WormholeNetwork, torus
+from repro.sim import Simulator
+
+
+def _fabric_link(topo):
+    return next(
+        l
+        for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    )
+
+
+# -- topology liveness --------------------------------------------------------
+
+
+def test_fail_and_repair_link_bump_version_and_notify():
+    topo = torus(2, 2)
+    changes = []
+    topo.add_listener(lambda t, change: changes.append(change))
+    link = _fabric_link(topo)
+    v0 = topo.version
+    topo.fail_link(link.id)
+    assert topo.version > v0
+    assert not topo.link_alive(link.id)
+    assert not topo.fully_alive
+    topo.repair_link(link.id)
+    assert topo.link_alive(link.id)
+    assert topo.fully_alive
+    assert [(c.kind, c.target) for c in changes] == [
+        ("link_fail", link.id),
+        ("link_repair", link.id),
+    ]
+
+
+def test_failing_twice_is_idempotent():
+    topo = torus(2, 2)
+    changes = []
+    topo.add_listener(lambda t, change: changes.append(change))
+    link = _fabric_link(topo)
+    v0 = topo.version
+    topo.fail_link(link.id)
+    v1 = topo.version
+    topo.fail_link(link.id)  # already dead: no version bump, no event
+    assert topo.version == v1 > v0
+    assert len(changes) == 1
+
+
+def test_node_death_hides_host_and_neighbors():
+    topo = torus(2, 2)
+    host = topo.hosts[0]
+    switch = topo.host_switch(host)
+    topo.fail_node(host)
+    assert not topo.node_alive(host)
+    assert host not in topo.live_hosts()
+    assert host not in [peer for peer, _ in topo.live_neighbors(switch)]
+    topo.repair_node(host)
+    assert host in topo.live_hosts()
+
+
+def test_dead_access_link_hides_host():
+    topo = torus(2, 2)
+    host = topo.hosts[0]
+    access = next(l for l in topo.adjacent(host))
+    topo.fail_link(access.id)
+    assert topo.node_alive(host)  # the host itself is fine...
+    assert host not in topo.live_hosts()  # ...but unreachable
+
+
+def test_is_connected_live_only():
+    topo = Topology()
+    s0, s1 = topo.add_switch(), topo.add_switch()
+    bridge = topo.add_link(s0, s1)
+    topo.add_host(s0), topo.add_host(s1)
+    assert topo.is_connected(live_only=True)
+    topo.fail_link(bridge.id)
+    assert topo.is_connected()  # structurally still one graph
+    assert not topo.is_connected(live_only=True)
+
+
+# -- up/down routing stale-cache ---------------------------------------------
+
+
+def test_routes_avoid_dead_link_without_explicit_rebuild():
+    topo = torus(3, 3)
+    routing = UpDownRouting(topo)
+    pairs = [(a, b) for a in topo.hosts for b in topo.hosts if a != b]
+    used = set()
+    for src, dst in pairs:
+        route = routing.route_shared(src, dst)
+        used.update(link.id for _, _, link in route)
+    victim = next(l for l in _iter_fabric(topo) if l.id in used)
+    topo.fail_link(victim.id)
+    # No rebuild() call: the memoized caches must invalidate themselves.
+    for src, dst in pairs:
+        for _, _, link in routing.route_shared(src, dst):
+            assert link.id != victim.id
+
+
+def _iter_fabric(topo):
+    return (
+        l
+        for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    )
+
+
+def test_route_to_hidden_host_raises_until_repair():
+    topo = torus(2, 2)
+    routing = UpDownRouting(topo)
+    src, dst = topo.hosts[0], topo.hosts[1]
+    routing.route_shared(src, dst)  # warm the cache
+    topo.fail_node(dst)
+    with pytest.raises(ValueError):
+        routing.route_shared(src, dst)
+    topo.repair_node(dst)
+    assert routing.route_shared(src, dst)
+
+
+# -- wormhole network stale-cache ---------------------------------------------
+
+
+def test_channel_failed_flags_track_liveness():
+    sim = Simulator()
+    topo = torus(2, 2)
+    net = WormholeNetwork(sim, topo)
+    link = _fabric_link(topo)
+    ab = net.channel(link.a, link.b)
+    ba = net.channel(link.b, link.a)
+    assert not ab.failed and not ba.failed
+    topo.fail_link(link.id)
+    _ = net.channels  # lazy refresh happens on the next read
+    assert ab.failed and ba.failed
+    topo.repair_link(link.id)
+    _ = net.channels
+    assert not ab.failed and not ba.failed
+
+
+def test_worm_sent_after_fault_avoids_dead_link():
+    sim = Simulator()
+    topo = torus(3, 3)
+    net = WormholeNetwork(sim, topo)
+    src, dst = topo.hosts[0], topo.hosts[4]
+    baseline = net.route_channels(src, dst)
+    victim = baseline[1].link  # a fabric hop on the cached route
+    topo.fail_link(victim.id)
+    transfer = net.send(Worm(source=src, dest=dst, length=60))
+    sim.run()
+    assert not transfer.dropped  # rerouted, not orphaned
+    refreshed = net.route_channels(src, dst)
+    assert victim.id not in [ch.link.id for ch in refreshed]
+
+
+def test_new_link_gets_channels_on_refresh():
+    sim = Simulator()
+    topo = torus(2, 2)
+    net = WormholeNetwork(sim, topo)
+    link = topo.add_link(topo.switches[0], topo.switches[-1])
+    _ = net.channels
+    assert net.channel(link.a, link.b) is not None
+    assert net.channel(link.b, link.a) is not None

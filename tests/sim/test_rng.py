@@ -91,3 +91,26 @@ def test_randint_inclusive():
     s = RandomStreams(seed=12).stream("r")
     values = {s.randint(3, 5) for _ in range(200)}
     assert values == {3, 4, 5}
+
+
+def test_geometric_survives_unit_uniform_draw():
+    """random() may return exactly 1.0 from a swapped-in generator; the
+    clamp must keep geometric() finite instead of passing log(0.0)."""
+    stream = RandomStreams(seed=1).stream("g")
+
+    class UnitRandom:
+        def random(self):
+            return 1.0
+
+    stream._rng = UnitRandom()
+    value = stream.geometric(400.0, minimum=1)
+    assert value >= 1
+    assert value < 10**9  # finite, not math-domain-error territory
+
+
+def test_geometric_clamp_does_not_alter_genuine_draws():
+    a = RandomStreams(seed=8).stream("g")
+    b = RandomStreams(seed=8).stream("g")
+    assert [a.geometric(300.0) for _ in range(200)] == [
+        b.geometric(300.0) for _ in range(200)
+    ]
