@@ -1,0 +1,205 @@
+"""Dense vs active flit-engine benchmarks.
+
+Two scenarios bracket the active-set engine's envelope:
+
+* ``sparse_fig3`` -- the Figure 3 deadlock topology under S3 (idle-flush)
+  with injection rounds spaced thousands of ticks apart.  The dense
+  engine grinds through every idle tick; the active engine deregisters
+  quiescent components and fast-forwards the gaps, so it should win big
+  (the acceptance bar is >= 3x).
+* ``saturated_shufflenet`` -- all 24 hosts of a (2,3) bidirectional
+  shufflenet injecting back-to-back worms.  Nothing is ever idle, so the
+  active engine can only lose here; the bar is <= 5% regression.
+
+Both scenarios assert that the two engines return the same status and
+final clock -- a benchmark that drifted semantically would be measuring
+two different simulations.
+
+Run standalone to emit JSON (this is what the CI smoke step and
+``scripts/bench_trajectory.py`` consume)::
+
+    python benchmarks/bench_flit_engine.py --scale 0.3 --out results/flit_bench.json
+
+or under pytest-benchmark for statistics::
+
+    python -m pytest benchmarks/bench_flit_engine.py
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _sub in ("src", "benchmarks"):
+    _p = str(_ROOT / _sub)
+    if _p not in sys.path:
+        sys.path.insert(0, _p)
+
+from conftest import scaled  # noqa: E402
+
+from repro.core.switch_mcast import (  # noqa: E402
+    SwitchScheme,
+    build_switch_multicast_network,
+)
+from repro.net import bidirectional_shufflenet  # noqa: E402
+from repro.net.flitlevel import FlitNetwork  # noqa: E402
+from repro.net.topology import fig3_topology  # noqa: E402
+
+#: Idle gap between injection rounds in the sparse scenario.  One fig3
+#: round resolves in under ~1500 ticks, so most of each gap is quiescent.
+#: Sized so idle ticks dominate dense wall time: a quiescent dense tick
+#: still costs ~1/3 of a busy one (it polls every port of every switch).
+_SPARSE_GAP = 25_000
+
+
+def _sparse_fig3(engine: str, rounds: int):
+    """Figure 3 topology, S3 scheme, rounds spaced ``_SPARSE_GAP`` apart."""
+    topology = fig3_topology()
+    names = {topology.node(h).name: h for h in topology.hosts}
+    net = build_switch_multicast_network(
+        topology, SwitchScheme.S3_IDLE_FLUSH, seed=3, engine=engine,
+    )
+    for i in range(rounds):
+        at = i * _SPARSE_GAP
+        net.send_multicast(
+            names["srcM"], [names["host_b"], names["host_c"]],
+            payload_bytes=400, start_delay=at,
+        )
+        net.send_unicast(
+            names["host_y"], names["host_b"], payload_bytes=400,
+            start_delay=at + 5,
+        )
+    status = net.run(
+        max_ticks=rounds * _SPARSE_GAP + 50_000, quiet_limit=3_000,
+        raise_on_deadlock=False,
+    )
+    return status, net.now, net.ticks_executed
+
+
+def _saturated_shufflenet(engine: str, rounds: int):
+    """24-node shufflenet, every host sending ``rounds`` back-to-back worms."""
+    topo = bidirectional_shufflenet(2, 3)
+    net = FlitNetwork(topo, engine=engine, seed=21)
+    hosts = topo.hosts
+    for _ in range(rounds):
+        for i, src in enumerate(hosts):
+            net.send_unicast(src, hosts[(i + 7) % len(hosts)], payload_bytes=120)
+    status = net.run(max_ticks=400_000)
+    return status, net.now, net.ticks_executed
+
+
+_SCENARIOS = {
+    "sparse_fig3": (_sparse_fig3, 8),
+    "saturated_shufflenet": (_saturated_shufflenet, 4),
+}
+
+
+def _best_of(fn, args, repeats):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def run_suite(scale: float = 1.0, repeats: int = 3):
+    """Time both engines on both scenarios; returns a JSON-ready dict."""
+    results = {}
+    for name, (fn, base_rounds) in _SCENARIOS.items():
+        rounds = max(2, int(base_rounds * scale))
+        dense_s, dense_out = _best_of(fn, ("dense", rounds), repeats)
+        active_s, active_out = _best_of(fn, ("active", rounds), repeats)
+        if dense_out[:2] != active_out[:2]:
+            raise AssertionError(
+                f"{name}: engines diverged -- dense={dense_out[:2]} "
+                f"active={active_out[:2]}"
+            )
+        results[name] = {
+            "rounds": rounds,
+            "status": dense_out[0],
+            "final_tick": dense_out[1],
+            "dense_seconds": round(dense_s, 4),
+            "active_seconds": round(active_s, 4),
+            "dense_ticks_executed": dense_out[2],
+            "active_ticks_executed": active_out[2],
+            "speedup": round(dense_s / active_s, 3),
+        }
+    return results
+
+
+# -- pytest-benchmark entry points ---------------------------------------
+
+def _report(benchmark, ticks: int) -> None:
+    if benchmark.stats is None:  # --benchmark-disable smoke runs
+        return
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["ticks_executed"] = ticks
+    benchmark.extra_info["ticks_per_second"] = round(ticks / mean)
+
+
+def test_flit_sparse_dense(benchmark):
+    rounds = scaled(8, minimum=2)
+    status, _, ticks = benchmark(_sparse_fig3, "dense", rounds)
+    assert status == "delivered"
+    _report(benchmark, ticks)
+
+
+def test_flit_sparse_active(benchmark):
+    rounds = scaled(8, minimum=2)
+    status, _, ticks = benchmark(_sparse_fig3, "active", rounds)
+    assert status == "delivered"
+    _report(benchmark, ticks)
+
+
+def test_flit_saturated_dense(benchmark):
+    rounds = scaled(4, minimum=1)
+    status, _, ticks = benchmark(_saturated_shufflenet, "dense", rounds)
+    assert status == "delivered"
+    _report(benchmark, ticks)
+
+
+def test_flit_saturated_active(benchmark):
+    rounds = scaled(4, minimum=1)
+    status, _, ticks = benchmark(_saturated_shufflenet, "active", rounds)
+    assert status == "delivered"
+    _report(benchmark, ticks)
+
+
+def test_sparse_speedup_meets_bar():
+    # The acceptance bar is 3x; the measured margin is much larger, so a
+    # noisy CI box should still clear it comfortably.
+    results = run_suite(scale=0.5, repeats=2)
+    sparse = results["sparse_fig3"]
+    assert sparse["speedup"] >= 3.0, sparse
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload multiplier (CI smoke uses ~0.3)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the result dict to this JSON file")
+    args = parser.parse_args(argv)
+    results = run_suite(scale=args.scale, repeats=args.repeats)
+    for name, rec in results.items():
+        print(
+            f"{name:>22}: dense {rec['dense_seconds']:.3f}s "
+            f"({rec['dense_ticks_executed']} ticks) | active "
+            f"{rec['active_seconds']:.3f}s ({rec['active_ticks_executed']} "
+            f"ticks) | speedup {rec['speedup']:.2f}x"
+        )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ from bench_kernel_events import (  # noqa: E402
     _timeout_churn,
     _uncontended_grants,
 )
+from bench_flit_engine import run_suite as _flit_suite  # noqa: E402
 
 from repro.sweep import append_trajectory, run_sweep  # noqa: E402
 from repro.sweep.cache import code_fingerprint  # noqa: E402
@@ -71,6 +72,10 @@ def main(argv=None) -> int:
         "--skip-sweep", action="store_true",
         help="record only the kernel microbenchmarks",
     )
+    parser.add_argument(
+        "--skip-flit", action="store_true",
+        help="skip the dense-vs-active flit engine comparison",
+    )
     args = parser.parse_args(argv)
 
     stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
@@ -91,6 +96,24 @@ def main(argv=None) -> int:
             entry["note"] = args.label
         append_trajectory(args.out, entry)
         print(f"{name}: {round(best):,} events/s (median {round(median):,})")
+
+    if not args.skip_flit:
+        for name, rec in _flit_suite(scale=args.scale, repeats=3).items():
+            entry = {
+                "timestamp": stamp,
+                "label": f"flit_{name}",
+                "kind": "flit_microbench",
+                "code": code,
+                **rec,
+            }
+            if args.label:
+                entry["note"] = args.label
+            append_trajectory(args.out, entry)
+            print(
+                f"flit_{name}: dense {rec['dense_seconds']:.3f}s vs active "
+                f"{rec['active_seconds']:.3f}s ({rec['speedup']:.2f}x, "
+                f"{rec['active_ticks_executed']}/{rec['dense_ticks_executed']} ticks)"
+            )
 
     if not args.skip_sweep:
         spec = fig10_spec(loads=[0.04, 0.06, 0.08], scale=args.scale)

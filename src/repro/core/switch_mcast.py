@@ -95,13 +95,18 @@ def run_fig3_scenario(
     worm_bytes: int = 400,
     max_ticks: int = 100_000,
     seed: int = 3,
+    engine: str = "active",
 ) -> Fig3Outcome:
     """Reproduce Figure 3: a two-branch multicast races a unicast whose
     route crosses the D-E crosslink; with the base scheme certain offsets
-    deadlock, and each protection scheme must deliver both worms."""
+    deadlock, and each protection scheme must deliver both worms.
+
+    ``engine`` selects the flit-engine implementation (``"active"`` or
+    ``"dense"``); both produce byte-identical outcomes -- see
+    :mod:`repro.net.flitlevel.crosscheck`."""
     topology = fig3_topology()
     names = {topology.node(h).name: h for h in topology.hosts}
-    net = build_switch_multicast_network(topology, scheme, seed=seed)
+    net = build_switch_multicast_network(topology, scheme, seed=seed, engine=engine)
     mc = net.send_multicast(
         names["srcM"],
         [names["host_b"], names["host_c"]],

@@ -47,6 +47,8 @@ class FlitAdapter:
     tick (honouring STOP/GO) and sinks arriving flits, reassembling
     scheme-2 fragments by worm id."""
 
+    _is_adapter = True
+
     def __init__(self, network: "FlitNetwork", host_id: int) -> None:
         self.network = network
         self.host_id = host_id
@@ -58,14 +60,22 @@ class FlitAdapter:
         self._rx_progress: Dict[int, int] = {}
         self.received_worms: List[int] = []
         self.received_flits = 0
+        #: Active-set engine bookkeeping (see FlitNetwork._tick_active):
+        #: ``_active`` registers the adapter for ticking, ``_moved`` records
+        #: per-tick activity, ``_net_seq`` restores dense iteration order.
+        self._active = False
+        self._moved = False
+        self._net_seq = 0
 
     # -- sending ------------------------------------------------------------
     def enqueue(self, record: WormRecord) -> None:
         self._tx.append(record)
+        self.network._wake_component(self)
 
     def requeue_front(self, record: WormRecord) -> None:
         """Put a flushed worm back at the head of the queue (retransmit)."""
         self._tx.appendleft(record)
+        self.network._wake_component(self)
 
     @property
     def sending(self) -> Optional[WormRecord]:
@@ -85,6 +95,7 @@ class FlitAdapter:
             return False
         if record.injected_at is None:
             record.injected_at = now
+            self.network._note_injection()
         flit = record.flits[self._tx_pos]
         self.wire_out.push(flit, now)
         self._tx_pos += 1
@@ -109,6 +120,7 @@ class FlitAdapter:
             # branch forever (Figure 3).
             return True
         self.received_flits += 1
+        self.network._note_progress()
         if flit.kind == FlitKind.FRAG_TAIL:
             return True  # fragment boundary; payload already accumulated
         progress = self._rx_progress.get(flit.wid, 0) + 1
@@ -118,6 +130,16 @@ class FlitAdapter:
             del self._rx_progress[flit.wid]
             self.network.record_delivery(flit.wid, self.host_id, now)
         return True
+
+    def quiescent(self) -> bool:
+        """True when ticking this adapter is provably a no-op: nothing
+        queued for injection and nothing in flight on the receive wire.
+        A stream gap (partial ``_rx_progress``) needs no ticking -- the
+        upstream push re-activates the adapter through the wire hook."""
+        if self._tx:
+            return False
+        wire_in = self.wire_in
+        return wire_in is None or not wire_in._forward
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<FlitAdapter h{self.host_id} txq={len(self._tx)}>"

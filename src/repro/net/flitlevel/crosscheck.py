@@ -1,0 +1,169 @@
+"""Dense-vs-active engine crosscheck harness.
+
+The active-set engine (:class:`~repro.net.flitlevel.network.FlitNetwork`
+with ``engine="active"``) promises *byte-identical semantics* to the dense
+polling loop: the same per-worm delivery ticks, the same retransmission
+counts, the same final run status, across all multicast modes and under
+fault injection.  This module turns that promise into something checkable.
+
+Usage::
+
+    from repro.net.flitlevel.crosscheck import crosscheck
+
+    def scenario(engine):
+        net = FlitNetwork(torus(3, 3), engine=engine, seed=11)
+        net.send_multicast(0, [4, 7], payload_bytes=96)
+        status = net.run(max_ticks=50_000)
+        return net, status
+
+    report = crosscheck(scenario)
+    assert report.ok, report.describe()
+
+Worm ids come from a process-global counter, so the dense and active runs
+of the same scenario observe *disjoint* wid ranges.  The timelines are
+therefore keyed by **creation ordinal** (the k-th worm ever created inside
+one run), recovered by sorting the observed wids -- the counter is
+monotonic, so sorted order is creation order, and byte-identical runs
+create worms in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+__all__ = ["worm_timeline", "crosscheck", "CrosscheckReport"]
+
+
+def worm_timeline(net, status: str) -> Dict[str, Any]:
+    """Reduce a finished run to an engine-independent canonical dict.
+
+    Every field that the paper's metrics depend on is captured: global
+    counters, per-worm injection/delivery ticks and retransmission counts,
+    per-host arrival sequences, and host-multicast message completion.
+    Two runs agree on the byte level iff their timelines compare equal.
+    """
+    # All wids ever created: records holds live + delivered worms, killed
+    # holds flushed ones (whose records lose_worm() may have forgotten).
+    all_wids = sorted(set(net.records) | set(net.killed))
+    ordinal = {wid: i for i, wid in enumerate(all_wids)}
+    worms: Dict[int, Dict[str, Any]] = {}
+    for wid, record in net.records.items():
+        worms[ordinal[wid]] = {
+            "src": record.src,
+            "dests": sorted(record.dests),
+            "injected_at": record.injected_at,
+            "delivered_at": dict(sorted(record.delivered_at.items())),
+            "retransmissions": record.retransmissions,
+            "payload_bytes": record.payload_bytes,
+            "hop_count": record.hop_count,
+            "killed": record.wid in net.killed,
+        }
+    messages: Dict[int, Dict[str, Any]] = {}
+    for i, mid in enumerate(sorted(net.messages)):
+        message = net.messages[mid]
+        messages[i] = {
+            "gid": message.gid,
+            "origin": message.origin,
+            "created": message.created,
+            "expected": sorted(message.expected),
+            "deliveries": dict(sorted(message.deliveries.items())),
+        }
+    received = {
+        host: [ordinal.get(wid, f"?{wid}") for wid in adapter.received_worms]
+        for host, adapter in net.adapters.items()
+    }
+    return {
+        "status": status,
+        "now": net.now,
+        "flushes": net.flushes,
+        "worms_lost": net.worms_lost,
+        "link_faults": net.link_faults,
+        "worms_injected": net.worms_injected,
+        "worm_deliveries": net.worm_deliveries,
+        "killed": sorted(ordinal[wid] for wid in net.killed),
+        "worms": worms,
+        "messages": messages,
+        "received": received,
+        "received_flits": {
+            host: adapter.received_flits
+            for host, adapter in net.adapters.items()
+        },
+    }
+
+
+class CrosscheckReport:
+    """Comparison result of one scenario run under both engines."""
+
+    def __init__(self, dense: Dict[str, Any], active: Dict[str, Any],
+                 dense_ticks: int, active_ticks: int) -> None:
+        self.dense = dense
+        self.active = active
+        #: Ticks each engine actually executed -- the active engine may
+        #: fast-forward across quiescent gaps, so this is allowed to differ
+        #: (it is the point of the optimisation); everything else is not.
+        self.dense_ticks = dense_ticks
+        self.active_ticks = active_ticks
+        self.mismatches: List[Tuple[str, Any, Any]] = _diff(dense, active)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"engines agree: status={self.dense['status']!r} "
+                f"now={self.dense['now']} "
+                f"(dense ticked {self.dense_ticks}, active {self.active_ticks})"
+            )
+        lines = [f"{len(self.mismatches)} mismatch(es) dense vs active:"]
+        for path, dense_val, active_val in self.mismatches[:20]:
+            lines.append(f"  {path}: dense={dense_val!r} active={active_val!r}")
+        if len(self.mismatches) > 20:
+            lines.append(f"  ... and {len(self.mismatches) - 20} more")
+        return "\n".join(lines)
+
+
+def _diff(a: Any, b: Any, path: str = "") -> List[Tuple[str, Any, Any]]:
+    """Recursive structural diff producing (path, left, right) triples."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        out: List[Tuple[str, Any, Any]] = []
+        for key in sorted(set(a) | set(b), key=repr):
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in a:
+                out.append((sub, "<missing>", b[key]))
+            elif key not in b:
+                out.append((sub, a[key], "<missing>"))
+            else:
+                out.extend(_diff(a[key], b[key], sub))
+        return out
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            return [(f"{path}.len", len(a), len(b))]
+        out = []
+        for i, (ai, bi) in enumerate(zip(a, b)):
+            out.extend(_diff(ai, bi, f"{path}[{i}]"))
+        return out
+    if a != b:
+        return [(path, a, b)]
+    return []
+
+
+def crosscheck(
+    scenario: Callable[[str], Tuple[Any, str]],
+) -> CrosscheckReport:
+    """Run ``scenario`` under both engines and compare canonical timelines.
+
+    ``scenario(engine)`` must build a fresh :class:`FlitNetwork` with the
+    given ``engine=`` keyword, drive it (sends, faults, ``run()``), and
+    return ``(net, status)``.  It must be deterministic apart from the
+    engine choice -- fix the seed.
+    """
+    dense_net, dense_status = scenario("dense")
+    active_net, active_status = scenario("active")
+    return CrosscheckReport(
+        worm_timeline(dense_net, dense_status),
+        worm_timeline(active_net, active_status),
+        dense_ticks=dense_net.ticks_executed,
+        active_ticks=active_net.ticks_executed,
+    )

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import operator
 from enum import Enum
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.route_encoding import encode_multicast_route, route_tree_from_paths
@@ -24,6 +26,9 @@ from repro.sim.rng import RandomStreams
 
 _flit_worm_ids = itertools.count(1)
 _flit_message_ids = itertools.count(1)
+
+#: Sort key restoring dense (creation) iteration order after wake merges.
+_net_seq_key = operator.attrgetter("_net_seq")
 
 
 class HostMulticastMessage:
@@ -92,6 +97,12 @@ class FlitNetwork:
         (scheme 3).
     flush_backoff:
         (lo, hi) uniform random retransmission delay after a flush, ticks.
+    engine:
+        ``"active"`` (default) ticks only components registered in the
+        network's active set and fast-forwards the clock across quiescent
+        spans; ``"dense"`` is the reference loop that polls every switch
+        and adapter each byte-time.  Both produce byte-identical worm
+        timelines (see :mod:`repro.net.flitlevel.crosscheck`).
     """
 
     def __init__(
@@ -105,7 +116,12 @@ class FlitNetwork:
         mc_idle_threshold: int = 16,
         flush_backoff: Tuple[int, int] = (200, 400),
         seed: int = 1,
+        engine: str = "active",
     ) -> None:
+        if engine not in ("active", "dense"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self._engine_active = engine == "active"
         self.topology = topology
         self.routing = routing or UpDownRouting(topology)
         self.mode = mode.value if isinstance(mode, MulticastMode) else mode
@@ -188,6 +204,121 @@ class FlitNetwork:
                 ]
         self._refresh_down_ports()
 
+        # -- active-set / progress bookkeeping --------------------------------
+        # Component lists in dense iteration order (dict insertion order),
+        # so the active-set engine arbitrates identically to the dense loop.
+        self._switch_list = list(self.switches.values())
+        self._adapter_list = list(self.adapters.values())
+        for seq, switch in enumerate(self._switch_list):
+            switch._net_seq = seq
+        for seq, adapter in enumerate(self._adapter_list):
+            adapter._net_seq = seq
+        #: Monotonic count of observable progress events (payload flits
+        #: delivered, worms injected, deliveries recorded, records churned).
+        #: Replaces the per-tick _progress_signature tuple: O(1) per event.
+        self._progress_events = 0
+        self.worms_injected = 0
+        self.worm_deliveries = 0
+        #: Ticks actually executed (fast-forwarded spans are excluded, so
+        #: active/dense ratios of this counter measure the skipped work).
+        self.ticks_executed = 0
+        #: Worm records plus host-multicast messages not yet fully
+        #: delivered, maintained incrementally so run() never scans
+        #: ``self.records`` on the hot path.
+        self._undelivered = 0
+        #: wid -> components/wires the worm's flits have entered, so a
+        #: flush or loss resets O(worm extent) state, not O(network).
+        #: Inner dicts are insertion-ordered sets: expunge order stays
+        #: deterministic run to run (byte reproducibility).
+        self._worm_sites: Dict[int, Dict[object, bool]] = {}
+        self._n_active = 0
+        self._active_switches: List[CrossbarSwitch] = []
+        self._active_adapters: List[FlitAdapter] = []
+        self._woken: List[object] = []
+        # Every wire registers in the worm-site index; only the active
+        # engine needs receiver wake-ups on the empty->non-empty edge.
+        track = self._register_site
+        for switch in self._switch_list:
+            wake = partial(self._wake_component, switch)
+            for port in switch.inputs:
+                if self._engine_active:
+                    port.wire.notify = wake
+            for output in switch.outputs:
+                output.wire.track = track
+        for adapter in self._adapter_list:
+            if adapter.wire_out is not None:
+                adapter.wire_out.track = track
+            if adapter.wire_in is not None and self._engine_active:
+                adapter.wire_in.notify = partial(self._wake_component, adapter)
+        self._wake_all()
+
+    # -- active-set engine internals ------------------------------------------
+    def _wake_component(self, comp) -> None:
+        """Register a switch/adapter for ticking.  No-op in the dense
+        engine (which polls everything anyway) and for already-active
+        components, so hooks can fire it unconditionally."""
+        if self._engine_active and not comp._active:
+            comp._active = True
+            self._n_active += 1
+            self._woken.append(comp)
+
+    def _wake_all(self) -> None:
+        """Activate every component: used at construction and after
+        external mutations (fault injection, reconfiguration) whose state
+        edges are not covered by the per-wire wake hooks.  Spuriously
+        woken components settle back out after one no-op tick."""
+        for switch in self._switch_list:
+            self._wake_component(switch)
+        for adapter in self._adapter_list:
+            self._wake_component(adapter)
+
+    def _merge_woken(self) -> None:
+        """Fold newly-woken components into the active lists, restoring
+        dense iteration order so arbitration stays byte-identical."""
+        for comp in self._woken:
+            if comp._is_adapter:
+                self._active_adapters.append(comp)
+            else:
+                self._active_switches.append(comp)
+        self._woken.clear()
+        self._active_switches.sort(key=_net_seq_key)
+        self._active_adapters.sort(key=_net_seq_key)
+
+    # -- progress counters ------------------------------------------------------
+    def _note_progress(self) -> None:
+        """Count one observable progress event (O(1) replacement for the
+        old per-tick progress-signature tuple)."""
+        self._progress_events += 1
+
+    def _note_injection(self) -> None:
+        self._progress_events += 1
+        self.worms_injected += 1
+
+    def _track_new_record(self, record: WormRecord) -> None:
+        self.records[record.wid] = record
+        if not record.fully_delivered:
+            self._undelivered += 1
+        self._progress_events += 1
+
+    def _forget_record(self, wid: int) -> Optional[WormRecord]:
+        record = self.records.pop(wid, None)
+        if record is not None:
+            self._progress_events += 1
+            if not record.fully_delivered:
+                self._undelivered -= 1
+        return record
+
+    # -- per-worm location index ----------------------------------------------
+    def _register_site(self, wid: int, site) -> None:
+        """Index ``site`` (a switch or wire) as holding flits of ``wid``,
+        so expunging the worm is O(worm extent) instead of O(network)."""
+        sites = self._worm_sites.get(wid)
+        if sites is None:
+            if wid in self.killed:
+                return  # straggler of an already-expunged worm
+            sites = self._worm_sites[wid] = {}
+        sites[site] = True
+
     def _refresh_down_ports(self) -> None:
         """(Re)compute each switch's broadcast down-link ports from the
         current up/down tree (Section 3); called after reconfiguration."""
@@ -217,6 +348,9 @@ class FlitNetwork:
         for wid in sorted(lost):
             self.lose_worm(wid)
         self._refresh_down_ports()
+        # State edges from a fault (expunged worms, released grants,
+        # cleared STOP latches) are not all covered by the wire hooks.
+        self._wake_all()
         return sorted(lost)
 
     def repair_link(self, link_id: int) -> None:
@@ -226,6 +360,7 @@ class FlitNetwork:
             if wire is not None:
                 wire.repair()
         self._refresh_down_ports()
+        self._wake_all()
 
     # -- route helpers -------------------------------------------------------
     def _port_bytes(self, hops) -> List[int]:
@@ -245,7 +380,7 @@ class FlitNetwork:
         wid = next(_flit_worm_ids)
         flits = worm_flits(wid, header, payload_bytes)
         record = WormRecord(wid, src, [dst], flits, payload_bytes)
-        self.records[wid] = record
+        self._track_new_record(record)
         self._inject(record, start_delay)
         return wid
 
@@ -272,7 +407,7 @@ class FlitNetwork:
         wid = next(_flit_worm_ids)
         flits = worm_flits(wid, header, payload_bytes, multicast=True)
         record = WormRecord(wid, src, list(dests), flits, payload_bytes)
-        self.records[wid] = record
+        self._track_new_record(record)
         self._inject(record, start_delay)
         return wid
 
@@ -292,7 +427,7 @@ class FlitNetwork:
         # Broadcast reaches every host (including a copy back to src).
         flits = worm_flits(wid, header, payload_bytes, broadcast=True)
         record = WormRecord(wid, src, list(self.topology.hosts), flits, payload_bytes)
-        self.records[wid] = record
+        self._track_new_record(record)
         self._inject(record, start_delay)
         return wid
 
@@ -327,6 +462,7 @@ class FlitNetwork:
             mid, gid, src, self.now, [m for m in members if m != src]
         )
         self.messages[mid] = message
+        self._undelivered += 1
         self._send_group_hop(src, gid, payload_bytes, len(members) - 1, mid)
         return mid
 
@@ -342,7 +478,7 @@ class FlitNetwork:
             wid, src, [nxt], flits, payload_bytes,
             group=gid, hop_count=hop_count, message_id=mid,
         )
-        self.records[wid] = record
+        self._track_new_record(record)
         self.adapters[src].enqueue(record)
 
     # -- delivery / flush callbacks ------------------------------------------------
@@ -350,15 +486,31 @@ class FlitNetwork:
         record = self.records.get(wid)
         if record is None:
             return
-        record.delivered_at[host] = now
+        if host not in record.delivered_at:
+            self.worm_deliveries += 1
+            was_complete = record.fully_delivered
+            record.delivered_at[host] = now
+            if not was_complete and record.fully_delivered:
+                self._undelivered -= 1
+                # Every branch drained through its destination adapter:
+                # nothing of this worm remains in the fabric to expunge.
+                self._worm_sites.pop(wid, None)
+        else:
+            record.delivered_at[host] = now
         if record.group is None or record.message_id is None:
             return
         # Host-adapter multicast hop: copy to the local host (counted in
         # the message record) and retransmit to the successor while any
         # hop count remains (Section 5's store-and-forward relay).
         message = self.messages.get(record.message_id)
-        if message is not None and host in message.expected:
-            message.deliveries.setdefault(host, now)
+        if (
+            message is not None
+            and host in message.expected
+            and host not in message.deliveries
+        ):
+            message.deliveries[host] = now
+            if len(message.deliveries) >= len(message.expected):
+                self._undelivered -= 1
         if record.hop_count > 1:
             self._send_group_hop(
                 host,
@@ -369,15 +521,15 @@ class FlitNetwork:
             )
 
     def _expunge(self, wid: int) -> bool:
-        """Backward-reset a worm out of every switch and wire; returns False
-        when it was already expunged."""
+        """Backward-reset a worm out of every switch and wire its flits
+        have entered -- O(worm extent) via the per-worm site index, not a
+        scan over the whole network.  Returns False when it was already
+        expunged."""
         if wid in self.killed:
             return False
         self.killed.add(wid)
-        for switch in self.switches.values():
-            switch.drop_worm(wid)
-        for wire in self._wires:
-            wire.drop_worm(wid)
+        for site in self._worm_sites.pop(wid, ()):
+            site.drop_worm(wid)
         return True
 
     def lose_worm(self, wid: int, reason: str = "fault") -> None:
@@ -391,7 +543,7 @@ class FlitNetwork:
         if not self._expunge(wid):
             return
         self.worms_lost += 1
-        self.records.pop(wid, None)
+        self._forget_record(wid)
 
     def flush(self, wid: int, reason: str = "") -> None:
         """Backward-reset a worm out of the network (scheme 3) and schedule
@@ -414,9 +566,11 @@ class FlitNetwork:
             )
             new_record.retransmissions = record.retransmissions + 1
             new_record.delivered_at.update(record.delivered_at)
-            self.records[new_wid] = new_record
-            # The retransmission supersedes the flushed worm.
-            del self.records[wid]
+            self._track_new_record(new_record)
+            # The retransmission supersedes the flushed worm; the old
+            # record may already be gone (e.g. lost to a fault between
+            # flush scheduling and this callback firing).
+            self._forget_record(wid)
             self.adapters[record.src].enqueue(new_record)
 
         delay = self._rng.randint(*self.flush_backoff)
@@ -430,23 +584,86 @@ class FlitNetwork:
     # -- tick loop -----------------------------------------------------------------
     def tick(self) -> bool:
         """Advance one byte-time; returns True if any flit moved."""
+        if self._engine_active:
+            return self._tick_active()
+        return self._tick_dense()
+
+    def _tick_dense(self) -> bool:
+        """Reference engine: poll every switch and adapter each tick."""
+        self.ticks_executed += 1
         self.now += 1
         while self._actions and self._actions[0][0] <= self.now:
             _, _, action = heapq.heappop(self._actions)
             action()
         moved = False
-        for switch in self.switches.values():
+        for switch in self._switch_list:
             if switch.tick_input(self.now):
                 moved = True
-        for adapter in self.adapters.values():
+        for adapter in self._adapter_list:
             if adapter.tick_input(self.now):
                 moved = True
-        for switch in self.switches.values():
+        for switch in self._switch_list:
             if switch.tick_output(self.now):
                 moved = True
-        for adapter in self.adapters.values():
+        for adapter in self._adapter_list:
             if adapter.tick_output(self.now):
                 moved = True
+        return moved
+
+    def _tick_active(self) -> bool:
+        """Active-set engine: tick only components registered as holding
+        flits or pending port work, in dense iteration order.
+
+        A component missing from the active set satisfies ``quiescent()``,
+        and a quiescent component's dense tick is provably a no-op (its
+        input wires are empty, its slack is empty, no STOP is latched, no
+        output is held), so skipping it cannot change the byte timeline.
+        Wire pushes cannot deliver in the tick they are sent (delay >= 1),
+        so components woken mid-tick would also have no-oped this tick and
+        only join the iteration from the next tick on.
+        """
+        self.ticks_executed += 1
+        self.now = now = self.now + 1
+        actions = self._actions
+        while actions and actions[0][0] <= now:
+            heapq.heappop(actions)[2]()
+        if self._woken:
+            self._merge_woken()
+        switches = self._active_switches
+        adapters = self._active_adapters
+        for switch in switches:
+            switch._moved = switch.tick_input(now)
+        for adapter in adapters:
+            adapter._moved = adapter.tick_input(now)
+        for switch in switches:
+            if switch.tick_output(now):
+                switch._moved = True
+        for adapter in adapters:
+            if adapter.tick_output(now):
+                adapter._moved = True
+        # Settle pass: deregister components that did nothing and can do
+        # nothing until a wake hook fires for them again.
+        moved = False
+        off = 0
+        for switch in switches:
+            if switch._moved:
+                moved = True
+            elif switch.quiescent():
+                switch._active = False
+                off += 1
+        if off:
+            self._active_switches = [s for s in switches if s._active]
+        drained = off
+        off = 0
+        for adapter in adapters:
+            if adapter._moved:
+                moved = True
+            elif adapter.quiescent():
+                adapter._active = False
+                off += 1
+        if off:
+            self._active_adapters = [a for a in adapters if a._active]
+        self._n_active -= drained + off
         return moved
 
     def pending_worms(self) -> List[int]:
@@ -459,37 +676,79 @@ class FlitNetwork:
     def run(
         self,
         max_ticks: int = 100_000,
-        quiet_limit: int = 2_000,
+        quiet_limit: Optional[int] = 2_000,
         raise_on_deadlock: bool = True,
     ) -> str:
         """Run until every worm is delivered, progress stalls, or the tick
-        budget runs out.  Returns "delivered", "deadlock" or "timeout".
+        budget runs out.
 
-        Progress is measured on worm *payload*: IDLE fills spinning through
-        a deadlocked cycle (Figure 3) do not count.
+        Returns
+        -------
+        ``"delivered"``
+            Every injected worm reached all its destinations (and every
+            host-adapter multicast message completed).
+        ``"deadlock"``
+            Undelivered worms remain but no progress event occurred for
+            ``quiet_limit`` consecutive ticks while nothing was scheduled;
+            raised as :class:`DeadlockDetected` when ``raise_on_deadlock``
+            is true.  Pass ``quiet_limit=None`` to disable stall detection
+            entirely (the run then only ends ``"delivered"`` or
+            ``"timeout"``).
+        ``"timeout"``
+            The clock reached ``max_ticks`` first.
+
+        Progress is measured on worm *payload* and record churn (O(1)
+        monotonic counters): IDLE fills spinning through a deadlocked
+        cycle (Figure 3) do not count.  The active-set engine additionally
+        fast-forwards the clock across fully quiescent spans -- nothing in
+        flight, only scheduled actions (flush backoffs, delayed
+        injections) remaining -- instead of spinning one byte at a time;
+        outcomes are byte-identical to the dense engine's (see
+        :mod:`repro.net.flitlevel.crosscheck`).
         """
         last_progress = self.now
-        last_signature = self._progress_signature()
+        last_events = self._progress_events
         while self.now < max_ticks:
+            if self._engine_active and not self._n_active:
+                if self._actions:
+                    # Idle span: nothing can move before the next
+                    # scheduled action, so jump to the tick it fires on.
+                    nxt = self._actions[0][0]
+                    if nxt > self.now + 1:
+                        jump = min(nxt, max_ticks) - 1
+                        self.now = jump
+                        # The dense loop treats pending actions as
+                        # progress each tick: restart the stall window.
+                        last_progress = jump
+                elif self._undelivered:
+                    # Permanently quiescent: no flits anywhere, nothing
+                    # scheduled, and no wake source left inside run().
+                    # The dense loop would spin unchanged to its stall or
+                    # tick budget; jump straight to the same outcome.
+                    if (
+                        quiet_limit is None
+                        or last_progress + quiet_limit > max_ticks
+                    ):
+                        self.now = max_ticks
+                        return "timeout"
+                    self.now = last_progress + quiet_limit
+                    if raise_on_deadlock:
+                        raise DeadlockDetected(
+                            last_progress, self.pending_worms()
+                        )
+                    return "deadlock"
             self.tick()
-            if not self.pending_worms():
+            if not self._undelivered:
                 return "delivered"
-            signature = self._progress_signature()
-            if signature != last_signature or self._actions:
-                last_signature = signature
+            events = self._progress_events
+            if events != last_events or self._actions:
+                last_events = events
                 last_progress = self.now
-            elif self.now - last_progress >= quiet_limit:
+            elif (
+                quiet_limit is not None
+                and self.now - last_progress >= quiet_limit
+            ):
                 if raise_on_deadlock:
                     raise DeadlockDetected(last_progress, self.pending_worms())
                 return "deadlock"
         return "timeout"
-
-    def _progress_signature(self) -> Tuple:
-        received = tuple(
-            (a.host_id, a.received_flits) for a in self.adapters.values()
-        )
-        sent = tuple(
-            (wid, r.injected_at, len(r.delivered_at))
-            for wid, r in sorted(self.records.items())
-        )
-        return received, sent

@@ -56,6 +56,15 @@ class SlackBuffer:
     def empty(self) -> bool:
         return not self._flits
 
+    @property
+    def stopping(self) -> bool:
+        """The current STOP/GO hysteresis state, without re-evaluating it.
+
+        :meth:`desired_stop` mutates the hysteresis latch; quiescence checks
+        (the active-set engine's settle pass) need a read-only view.
+        """
+        return self._stopping
+
     def push(self, flit: Flit) -> None:
         """Accept a flit from the wire.
 

@@ -80,7 +80,12 @@ class InputPort:
         self.branches: List[_Branch] = []
         self._segment_left = 0
         self._broadcast_stamped = False
-        self._last_stop: Optional[bool] = None
+        # Starts False (the wire's default sender-side state), so a drained
+        # port never owes its upstream a redundant GO symbol.
+        self._last_stop = False
+        #: Last worm id registered in the network's per-worm site index;
+        #: worms stream contiguously, so one comparison per flit suffices.
+        self._site_wid: Optional[int] = None
 
     @property
     def current_branch(self) -> _Branch:
@@ -93,9 +98,14 @@ class InputPort:
         flit = self.wire.deliver(now)
         moved = False
         if flit is not None:
-            if flit.wid in self.switch.network.killed:
+            network = self.switch.network
+            if flit.wid in network.killed:
                 moved = True  # flushed worm drains away
             else:
+                if flit.wid != self._site_wid:
+                    self._site_wid = flit.wid
+                    if flit.wid is not None:
+                        network._register_site(flit.wid, self.switch)
                 self.slack.push(flit)
                 moved = True
         stop = self.slack.desired_stop()
@@ -196,6 +206,8 @@ class OutputPort:
 class CrossbarSwitch:
     """One crossbar: input ports, output ports, and the forwarding rules."""
 
+    _is_adapter = False
+
     def __init__(
         self,
         network: "FlitNetwork",
@@ -209,6 +221,12 @@ class CrossbarSwitch:
         self.outputs: List[OutputPort] = []
         self.down_ports: List[int] = []
         self.forwarded_worms = 0
+        #: Active-set engine bookkeeping (see FlitNetwork._tick_active):
+        #: ``_active`` registers the switch for ticking, ``_moved`` records
+        #: per-tick activity, ``_net_seq`` restores dense iteration order.
+        self._active = False
+        self._moved = False
+        self._net_seq = 0
 
     def add_port(self, wire_in: Wire, wire_out: Wire) -> int:
         index = len(self.inputs)
@@ -218,6 +236,26 @@ class CrossbarSwitch:
 
     def paired_output(self, input_index: int) -> int:
         return input_index
+
+    def quiescent(self) -> bool:
+        """True when ticking this switch is provably a no-op: every input
+        is disconnected with empty slack and an empty input wire, no STOP
+        is outstanding, and no output is held or requested.  Anything that
+        can change this state (a wire push, an enqueue, a fault) re-activates
+        the switch through the network's wake hooks."""
+        for port in self.inputs:
+            if (
+                port.state != InputPort.IDLE
+                or port._last_stop
+                or port.slack._flits
+                or port.slack.stopping
+                or port.wire._forward
+            ):
+                return False
+        for output in self.outputs:
+            if output.holder is not None or output.waiting:
+                return False
+        return True
 
     # -- tick -------------------------------------------------------------------
     def tick_input(self, now: int) -> bool:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.net.flitlevel.flits import Flit
 
@@ -27,6 +27,14 @@ class Wire:
         #: False while the physical link is down (fault injection): pushed
         #: flits are swallowed and nothing is delivered.
         self.alive = True
+        #: Active-set hook: called when a flit lands on a previously empty
+        #: wire, so the receiving component re-registers for ticking.
+        self.notify: Optional[Callable[[], None]] = None
+        #: Worm-location hook: ``track(wid, wire)`` is called the first time
+        #: a worm's flits enter this wire (per-worm site index for O(extent)
+        #: flush/loss instead of a full network scan).
+        self.track: Optional[Callable[[Optional[int], "Wire"], None]] = None
+        self._tracked_wid: Optional[int] = None
 
     # -- liveness ---------------------------------------------------------------
     def fail(self) -> set:
@@ -50,6 +58,16 @@ class Wire:
         self._last_push_tick = now
         if not self.alive:
             return  # a dead wire swallows the flit; the sender can't tell
+        wid = flit.wid
+        if wid != self._tracked_wid:
+            self._tracked_wid = wid
+            if self.track is not None and wid is not None:
+                self.track(wid, self)
+        if not self._forward and self.notify is not None:
+            # The receiver may have deregistered while this wire was empty;
+            # it stays registered as long as flits are in flight, so only
+            # the empty->non-empty edge needs a wake-up.
+            self.notify()
         self._forward.append((now + self.delay, flit))
         self.carried += 1
         if flit.kind.value == "idle":

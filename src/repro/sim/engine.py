@@ -115,6 +115,11 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float, priority: int) -> None:
+        if delay < 0:
+            # Timeout and schedule_call validate their own delays, but a
+            # buggy internal caller could otherwise schedule into the past
+            # and silently break clock monotonicity.
+            raise ValueError(f"negative delay {delay}")
         self._eid += 1
         heappush(
             self._queue,

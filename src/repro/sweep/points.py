@@ -185,3 +185,42 @@ def _myrinet_throughput(params: Dict[str, Any]) -> Dict[str, Any]:
         measure_us=float(params.get("measure_us", 500_000.0)),
     )
     return sanitize_record(dataclasses.asdict(result))
+
+
+@point_kind("fig3_offsets")
+def _fig3_offsets(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One Figure 3 injection-offset grid on the flit-level engine.
+
+    Required params: ``scheme`` (a :class:`SwitchScheme` value string).
+    Optional: ``mc_delays``/``uc_delays`` (exclusive range bounds, default
+    6), ``worm_bytes``, ``max_ticks``, ``seed``, and ``engine``
+    (``"active"``/``"dense"`` -- byte-identical results, different speed).
+    """
+    from repro.core.switch_mcast import (
+        SwitchScheme,
+        deadlock_rate,
+        sweep_fig3_offsets,
+    )
+
+    outcomes = sweep_fig3_offsets(
+        SwitchScheme(params["scheme"]),
+        mc_delays=range(int(params.get("mc_delays", 6))),
+        uc_delays=range(int(params.get("uc_delays", 6))),
+        worm_bytes=int(params.get("worm_bytes", 400)),
+        max_ticks=int(params.get("max_ticks", 100_000)),
+        seed=int(params.get("seed", 3)),
+        engine=str(params.get("engine", "active")),
+    )
+    return sanitize_record(
+        {
+            "scheme": str(SwitchScheme(params["scheme"]).value),
+            "engine": str(params.get("engine", "active")),
+            "points": len(outcomes),
+            "deadlock_rate": deadlock_rate(outcomes),
+            "delivered": sum(1 for o in outcomes if o.status == "delivered"),
+            "deadlocked": sum(1 for o in outcomes if o.status == "deadlock"),
+            "flushes": sum(o.flushes for o in outcomes),
+            "total_ticks": sum(o.ticks for o in outcomes),
+            "statuses": [o.status for o in outcomes],
+        }
+    )

@@ -1,0 +1,228 @@
+"""Dense-vs-active engine equivalence: byte-identical semantics.
+
+The active-set engine must reproduce the dense polling loop exactly --
+same per-worm injection and delivery ticks, same retransmission counts,
+same final status -- across every multicast mode, with and without
+tree-restricted routing, and under link fail/repair.  These tests run
+each scenario under both engines and diff the canonical timelines from
+:mod:`repro.net.flitlevel.crosscheck`.
+"""
+
+import pytest
+
+from repro.core.switch_mcast import SwitchScheme, run_fig3_scenario
+from repro.net import bidirectional_shufflenet, line, ring, torus
+from repro.net.flitlevel import FlitNetwork, MulticastMode, crosscheck
+from repro.sweep.points import execute_point
+
+
+def _fabric_links(topo):
+    return [
+        l.id
+        for l in topo.links
+        if topo.node(l.a).is_switch and topo.node(l.b).is_switch
+    ]
+
+
+def _mixed_traffic(net, hosts):
+    """Staggered unicast + multicast + broadcast load, fixed pattern."""
+    for i, src in enumerate(hosts):
+        net.send_unicast(
+            src, hosts[(i + 3) % len(hosts)],
+            payload_bytes=40 + 8 * (i % 4), start_delay=i * 17,
+        )
+    net.send_multicast(
+        hosts[0], [hosts[2], hosts[5], hosts[7]],
+        payload_bytes=120, start_delay=9,
+    )
+    net.send_multicast(
+        hosts[4], [hosts[1], hosts[8]], payload_bytes=64, start_delay=300,
+    )
+    net.send_broadcast(hosts[6], payload_bytes=48, start_delay=1_200)
+
+
+@pytest.mark.parametrize("mode", list(MulticastMode))
+@pytest.mark.parametrize("restrict", [False, True])
+def test_mixed_traffic_equivalent(mode, restrict):
+    def scenario(engine):
+        topo = torus(3, 3)
+        net = FlitNetwork(
+            topo, engine=engine, mode=mode, restrict_to_tree=restrict, seed=7,
+        )
+        _mixed_traffic(net, topo.hosts)
+        status = net.run(max_ticks=80_000, quiet_limit=3_000,
+                         raise_on_deadlock=False)
+        return net, status
+
+    report = crosscheck(scenario)
+    assert report.ok, report.describe()
+
+
+@pytest.mark.parametrize("scheme", list(SwitchScheme))
+def test_fig3_scenario_equivalent(scheme):
+    # mc_delay=0 / uc_delay=5 is the racing-injection offset that
+    # deadlocks the base scheme and drives S3 through flush+retransmit.
+    outcomes = {
+        engine: run_fig3_scenario(scheme, mc_delay=0, uc_delay=5, engine=engine)
+        for engine in ("dense", "active")
+    }
+    assert outcomes["dense"] == outcomes["active"]
+
+
+def test_flush_retransmission_counts_equivalent():
+    # Tight flush threshold + short backoff forces multiple flush cycles;
+    # retransmission bookkeeping (new wid, killed set, requeue) must match.
+    def scenario(engine):
+        topo = torus(3, 3)
+        net = FlitNetwork(
+            topo, engine=engine, mode=MulticastMode.IDLE_FLUSH,
+            mc_idle_threshold=16, flush_backoff=(40, 120), seed=13,
+        )
+        hosts = topo.hosts
+        net.send_multicast(hosts[0], [hosts[3], hosts[6]], payload_bytes=600)
+        for i in range(6):
+            net.send_unicast(
+                hosts[(i * 2) % len(hosts)], hosts[(i * 2 + 5) % len(hosts)],
+                payload_bytes=200, start_delay=i * 3,
+            )
+        status = net.run(max_ticks=120_000, quiet_limit=3_000,
+                         raise_on_deadlock=False)
+        return net, status
+
+    report = crosscheck(scenario)
+    assert report.ok, report.describe()
+    assert report.dense["flushes"] == report.active["flushes"]
+
+
+def test_fault_injection_equivalent():
+    # Scripted fail/repair mid-flight: the expunge path (per-worm site
+    # index in the active engine, full component scan in the dense one)
+    # must destroy exactly the same worms at the same tick.
+    def scenario(engine):
+        topo = torus(3, 3)
+        net = FlitNetwork(topo, engine=engine, seed=5)
+        hosts = topo.hosts
+        for i, src in enumerate(hosts):
+            net.send_unicast(
+                src, hosts[(i + 4) % len(hosts)], payload_bytes=400,
+                start_delay=i * 7,
+            )
+        for _ in range(60):
+            net.tick()
+        dead = _fabric_links(topo)[0]
+        net.fail_link(dead)
+        for _ in range(40):
+            net.tick()
+        net.repair_link(dead)
+        net.send_multicast(hosts[1], [hosts[5], hosts[8]], payload_bytes=80)
+        status = net.run(max_ticks=80_000, quiet_limit=3_000,
+                         raise_on_deadlock=False)
+        return net, status
+
+    report = crosscheck(scenario)
+    assert report.ok, report.describe()
+    assert report.dense["worms_lost"] == report.active["worms_lost"]
+    assert report.dense["link_faults"] == report.active["link_faults"]
+
+
+def test_host_multicast_equivalent():
+    def scenario(engine):
+        topo = ring(6)
+        net = FlitNetwork(topo, engine=engine, seed=3)
+        hosts = topo.hosts
+        net.create_host_group(1, hosts[:5])
+        net.send_host_multicast(hosts[0], 1, payload_bytes=72)
+        status = net.run(max_ticks=60_000)
+        return net, status
+
+    report = crosscheck(scenario)
+    assert report.ok, report.describe()
+
+
+def test_quiet_limit_none_times_out_on_both_engines():
+    # quiet_limit=None disables deadlock detection entirely: a genuinely
+    # wedged run must return "timeout" at max_ticks on both engines.
+    for engine in ("dense", "active"):
+        out = run_fig3_scenario(
+            SwitchScheme.BASE, mc_delay=0, uc_delay=5, engine=engine,
+            max_ticks=20_000,
+        )
+        if out.status != "deadlock":
+            pytest.skip("offset no longer deadlocks the base scheme")
+    from repro.core.switch_mcast import build_switch_multicast_network
+    from repro.net.topology import fig3_topology
+
+    statuses = {}
+    for engine in ("dense", "active"):
+        # The Figure 3 race wedges the base scheme: with detection
+        # disabled the run must grind to max_ticks and report "timeout".
+        topology = fig3_topology()
+        names = {topology.node(h).name: h for h in topology.hosts}
+        net = build_switch_multicast_network(
+            topology, SwitchScheme.BASE, seed=3, engine=engine,
+        )
+        net.send_multicast(
+            names["srcM"], [names["host_b"], names["host_c"]],
+            payload_bytes=400, start_delay=0,
+        )
+        net.send_unicast(
+            names["host_y"], names["host_b"], payload_bytes=400, start_delay=5,
+        )
+        statuses[engine] = (
+            net.run(max_ticks=15_000, quiet_limit=None), net.now,
+        )
+    assert statuses["dense"][0] == statuses["active"][0] == "timeout"
+    assert statuses["dense"] == statuses["active"]
+
+
+def test_active_engine_fast_forwards_sparse_traffic():
+    # Two sends separated by a long idle gap: the active engine must skip
+    # the quiescent interval instead of ticking through it.
+    results = {}
+    for engine in ("dense", "active"):
+        topo = ring(8)
+        net = FlitNetwork(topo, engine=engine, seed=9)
+        hosts = topo.hosts
+        net.send_unicast(hosts[0], hosts[4], payload_bytes=60)
+        net.send_unicast(hosts[2], hosts[6], payload_bytes=60,
+                         start_delay=30_000)
+        status = net.run(max_ticks=100_000)
+        results[engine] = (status, net.now, net.ticks_executed)
+    assert results["dense"][:2] == results["active"][:2]
+    dense_ticks = results["dense"][2]
+    active_ticks = results["active"][2]
+    assert dense_ticks == results["dense"][1]  # dense ticks every tick
+    # The ~30k-tick idle gap must be skipped, not executed.
+    assert active_ticks < dense_ticks // 10
+
+
+def test_sweep_point_kind_equivalent():
+    records = {
+        engine: execute_point(
+            "fig3_offsets",
+            {"scheme": "s3_idle_flush", "engine": engine,
+             "mc_delays": 3, "uc_delays": 3, "max_ticks": 40_000},
+        )
+        for engine in ("dense", "active")
+    }
+    dense = {k: v for k, v in records["dense"].items() if k != "engine"}
+    active = {k: v for k, v in records["active"].items() if k != "engine"}
+    assert dense == active
+
+
+def test_saturated_shufflenet_equivalent():
+    # All-hosts simultaneous load on the 24-node shufflenet: no idle gaps,
+    # so the active engine's settle/wake machinery is exercised while the
+    # fabric stays saturated.
+    def scenario(engine):
+        topo = bidirectional_shufflenet(2, 3)
+        net = FlitNetwork(topo, engine=engine, seed=21)
+        hosts = topo.hosts
+        for i, src in enumerate(hosts):
+            net.send_unicast(src, hosts[(i + 7) % len(hosts)],
+                             payload_bytes=150)
+        status = net.run(max_ticks=60_000)
+        return net, status
+
+    report = crosscheck(scenario)
+    assert report.ok, report.describe()
