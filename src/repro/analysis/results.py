@@ -81,28 +81,52 @@ def format_results_table(results: Sequence[ExperimentResult]) -> str:
 def crossover_point(
     series_a: Sequence[Tuple[float, float]],
     series_b: Sequence[Tuple[float, float]],
+    direction: str = "up",
 ) -> Optional[float]:
-    """The x where curve ``a`` crosses from below ``b`` to above it.
+    """The first x where curve ``a`` crosses curve ``b``.
 
     Used to locate the cut-through / tree crossover the paper predicts in
     Figure 10 (linear interpolation between sample points; None when the
     curves never cross on the common domain).
+
+    Direction contract
+    ------------------
+    ``direction="up"`` (the default) detects ``a`` passing from *strictly
+    below* ``b`` to *strictly above* it; ``"down"`` the reverse; ``"any"``
+    either.  Points where ``a == b`` are treated as *touches*, not sides: a
+    curve that touches and recedes (e.g. below → equal → below, or above →
+    equal → above) is **not** a crossover.  When the curves meet exactly
+    and then continue to the other side (below → equal → above), the
+    crossover is the first touching x.  Otherwise the crossing x is
+    linearly interpolated between the two strictly-signed samples.
     """
+    if direction not in ("up", "down", "any"):
+        raise ValueError(f"unknown direction {direction!r}")
     xs = sorted(set(x for x, _ in series_a) & set(x for x, _ in series_b))
     if len(xs) < 2:
         return None
     a = dict(series_a)
     b = dict(series_b)
-    previous_sign = None
+    previous_index: Optional[int] = None  # last strictly-signed sample
     for index, x in enumerate(xs):
         diff = a[x] - b[x]
+        if diff == 0:
+            continue
         sign = diff > 0
-        if previous_sign is not None and sign and not previous_sign:
-            x0, x1 = xs[index - 1], x
+        if previous_index is not None:
+            x0 = xs[previous_index]
             d0 = a[x0] - b[x0]
-            d1 = diff
-            if d1 == d0:
-                return x0
-            return x0 + (x1 - x0) * (-d0) / (d1 - d0)
-        previous_sign = sign
+            crossed = sign != (d0 > 0)
+            wanted = (
+                direction == "any"
+                or (direction == "up" and sign)
+                or (direction == "down" and not sign)
+            )
+            if crossed and wanted:
+                if index - previous_index > 1:
+                    # The curves met exactly on the intervening point(s);
+                    # they first cross where they first touch.
+                    return xs[previous_index + 1]
+                return x0 + (x - x0) * (-d0) / (diff - d0)
+        previous_index = index
     return None

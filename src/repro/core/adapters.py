@@ -233,9 +233,13 @@ class MulticastEngine:
         net: WormholeNetwork,
         config: Optional[AdapterConfig] = None,
         rng: Optional[RandomStreams] = None,
+        obs=None,
     ) -> None:
         self.sim = sim
         self.net = net
+        #: Optional :class:`~repro.obs.Observability`; records message spans
+        #: and latency distributions (one pointer test per event when None).
+        self.obs = obs
         self.config = config or AdapterConfig()
         if self.config.acceptance == AcceptancePolicy.WAIT and math.isinf(
             self.config.buffer_bytes
@@ -382,6 +386,8 @@ class MulticastEngine:
             payload=payload,
         )
         self.messages_sent += 1
+        if self.obs is not None:
+            self.obs.message_sent(self.sim.now, message.mid, gid, origin, length)
         self.adapters[origin].originate(message, state)
         return message
 
@@ -408,14 +414,20 @@ class MulticastEngine:
             return  # duplicate (e.g. retransmission overlap)
         message.deliveries[host] = when
         self.delivery_latency.add(when - message.created)
+        if self.obs is not None:
+            self.obs.message_delivery(when, message.mid, host, when - message.created)
         if len(message.deliveries) == len(message.expected):
             message.completed_at = when
             self.messages_completed += 1
             self.completion_latency.add(message.completion_latency())
+            if self.obs is not None:
+                self.obs.message_completed(when, message.mid, message.completion_latency())
 
     def record_unicast_delivery(self, worm: Worm, when: float) -> None:
         self.unicasts_delivered += 1
         self.unicast_latency.add(when - worm.created)
+        if self.obs is not None:
+            self.obs.unicast_delivered(when, when - worm.created)
 
     def reset_stats(self) -> None:
         """Discard warm-up statistics (message records keep accumulating)."""

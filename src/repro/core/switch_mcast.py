@@ -96,6 +96,7 @@ def run_fig3_scenario(
     max_ticks: int = 100_000,
     seed: int = 3,
     engine: str = "active",
+    obs=None,
 ) -> Fig3Outcome:
     """Reproduce Figure 3: a two-branch multicast races a unicast whose
     route crosses the D-E crosslink; with the base scheme certain offsets
@@ -103,10 +104,14 @@ def run_fig3_scenario(
 
     ``engine`` selects the flit-engine implementation (``"active"`` or
     ``"dense"``); both produce byte-identical outcomes -- see
-    :mod:`repro.net.flitlevel.crosscheck`."""
+    :mod:`repro.net.flitlevel.crosscheck`.  ``obs`` optionally attaches an
+    :class:`~repro.obs.Observability` bundle (traced runs stay
+    byte-identical to untraced ones)."""
     topology = fig3_topology()
     names = {topology.node(h).name: h for h in topology.hosts}
-    net = build_switch_multicast_network(topology, scheme, seed=seed, engine=engine)
+    net = build_switch_multicast_network(
+        topology, scheme, seed=seed, engine=engine, obs=obs
+    )
     mc = net.send_multicast(
         names["srcM"],
         [names["host_b"], names["host_c"]],
@@ -124,6 +129,8 @@ def run_fig3_scenario(
     uc_done = any(
         r.fully_delivered for r in net.records.values() if r.src == names["host_y"]
     )
+    if obs is not None:
+        obs.snapshot_flitnet(net)
     return Fig3Outcome(
         scheme=SwitchScheme(scheme),
         mc_delay=mc_delay,

@@ -98,6 +98,7 @@ def run_fault_campaign(
     seed: int = 1,
     schedule: Optional[FaultSchedule] = None,
     check_deadlocks: bool = True,
+    obs=None,
 ) -> Dict[str, Any]:
     """One availability measurement: multicast workload + link failures.
 
@@ -107,7 +108,8 @@ def run_fault_campaign(
     recovery plane reconfigure, and reports
     :class:`~repro.faults.metrics.AvailabilityMetrics` plus the injector's
     canonical event log.  Passing ``schedule`` overrides the generated one
-    (the scripted-regression form).
+    (the scripted-regression form).  With ``obs`` attached the record
+    carries an ``"obs"`` snapshot (fault counters, channel gauges).
     """
     from repro.traffic.generators import TrafficConfig, TrafficGenerator
     from repro.traffic.workloads import GroupPlan, build_engine, scheme_by_name
@@ -120,6 +122,7 @@ def run_fault_campaign(
         GroupPlan(count=group_count, size=group_size),
         seed=seed,
         routing=routing,
+        obs=obs,
     )
     traffic = TrafficGenerator(
         sim,
@@ -149,6 +152,8 @@ def run_fault_campaign(
     sim.run(until=warmup_time)
     engine.reset_stats()
     net.reset_stats()
+    if obs is not None:
+        obs.reset(sim.now)
     sim.run(until=warmup_time + measure_time)
 
     metrics = AvailabilityMetrics.collect(
@@ -162,6 +167,10 @@ def run_fault_campaign(
             deadlock_free = check_deadlock_free(routing, pairs)
         except ValueError:
             deadlock_free = False  # some live pair is unroutable (partition)
+    obs_snapshot = None
+    if obs is not None:
+        obs.snapshot_wormnet(net, sim.now)
+        obs_snapshot = obs.snapshot(sim.now)
     return {
         "params": {
             "rows": rows,
@@ -179,6 +188,7 @@ def run_fault_campaign(
         "deadlock_free": deadlock_free,
         "event_log": list(injector.log),
         "sim_time": sim.now,
+        "obs": obs_snapshot,
     }
 
 
@@ -195,6 +205,7 @@ def run_repair_campaign(
     request_timeout: float = 3_000.0,
     heartbeat_period: float = 10_000.0,
     max_sim_time: float = 5e6,
+    obs=None,
 ) -> Dict[str, Any]:
     """One loss-recovery measurement: transport repair under injected drops.
 
@@ -205,9 +216,9 @@ def run_repair_campaign(
     transport has recovered everything (or ``max_sim_time``); the record
     says whether recovery was total and what it cost.
     """
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     topology = torus(rows, cols)
-    net = WormholeNetwork(sim, topology)
+    net = WormholeNetwork(sim, topology, obs=obs)
     members = topology.hosts[:members_count]
     session = RepairSession(
         sim,
@@ -246,6 +257,10 @@ def run_repair_campaign(
         sim.run(until=sim.now + 50_000.0)
 
     metrics = AvailabilityMetrics.collect(net, injector=injector, session=session)
+    obs_snapshot = None
+    if obs is not None:
+        obs.snapshot_wormnet(net, sim.now)
+        obs_snapshot = obs.snapshot(sim.now)
     latencies = [
         session.latency(seq)
         for seq in range(session.highest_sent + 1)
@@ -271,4 +286,5 @@ def run_repair_campaign(
         ),
         "event_log": list(injector.log),
         "sim_time": sim.now,
+        "obs": obs_snapshot,
     }

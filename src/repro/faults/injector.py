@@ -81,6 +81,9 @@ class FaultInjector:
             raise ValueError(f"unknown fault kind {event.kind!r}")
         self.applied += 1
         self.log.append(f"{self.sim.now:.6f} {event.canonical()}")
+        obs = self.net.obs
+        if obs is not None:
+            obs.fault_applied(self.sim.now, event.kind, event.target)
 
     # -- worm-drop filter ---------------------------------------------------------
     def _should_drop(self, worm: Worm) -> bool:

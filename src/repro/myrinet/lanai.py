@@ -107,7 +107,9 @@ class AdapterStats:
 class MyrinetAdapter:
     """One host's LANai card on the measurement testbed."""
 
-    def __init__(self, sim: Simulator, host_id: int, config: LanaiConfig) -> None:
+    def __init__(
+        self, sim: Simulator, host_id: int, config: LanaiConfig, obs=None
+    ) -> None:
         self.sim = sim
         self.host_id = host_id
         self.config = config
@@ -117,6 +119,7 @@ class MyrinetAdapter:
         self.input_buffer = Container(sim, capacity=config.input_buffer_bytes)
         self.successor: Optional["MyrinetAdapter"] = None
         self.stats = AdapterStats()
+        self.obs = obs
         self._greedy_proc = None
         self._pending_buffer_faults = 0
 
@@ -179,13 +182,19 @@ class MyrinetAdapter:
     def receive(self, packet: Packet) -> None:
         """Packet fully arrived at the input port: admit or drop."""
         self.stats.arrivals += 1
+        if self.obs is not None:
+            self.obs.myrinet_arrival(self.sim.now, self.host_id)
         if self._pending_buffer_faults:
             self._pending_buffer_faults -= 1
             self.stats.drops += 1
             self.stats.injected_drops += 1
+            if self.obs is not None:
+                self.obs.myrinet_drop(self.sim.now, self.host_id, True)
             return
         if not self.input_buffer.try_get(packet.size):
             self.stats.drops += 1  # the only loss point (Section 8.2)
+            if self.obs is not None:
+                self.obs.myrinet_drop(self.sim.now, self.host_id, False)
             return
         self.sim.process(
             self._handle(packet), name=f"rx-h{self.host_id}-p{packet.pid}"
@@ -211,6 +220,11 @@ class MyrinetAdapter:
             self.host_cpu.release(host_req)
         self.stats.received_packets += 1
         self.stats.received_bytes += packet.size
+        if self.obs is not None:
+            self.obs.myrinet_received(
+                self.sim.now, self.host_id, packet.size,
+                self.sim.now - packet.created_us,
+            )
         if packet.hop_count > 1:
             # Store-and-forward retransmission inside the NIC.
             yield self.sim.timeout(config.nic_forward_overhead_us)

@@ -30,15 +30,21 @@ class TestbedResult:
     loss_rate_per_host: float
     per_host_throughput: Dict[int, float] = field(default_factory=dict)
     per_host_loss: Dict[int, float] = field(default_factory=dict)
+    #: Observability snapshot (see :mod:`repro.obs`) when run with a
+    #: bundle attached, else None.
+    obs: Optional[Dict] = None
 
 
 def build_testbed(
-    n_hosts: int = 8, config: Optional[LanaiConfig] = None
+    n_hosts: int = 8, config: Optional[LanaiConfig] = None, obs=None
 ) -> tuple:
     """Simulator + adapters wired in a Hamiltonian circuit (id order)."""
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     config = config or LanaiConfig()
-    adapters = [MyrinetAdapter(sim, host_id, config) for host_id in range(n_hosts)]
+    adapters = [
+        MyrinetAdapter(sim, host_id, config, obs=obs)
+        for host_id in range(n_hosts)
+    ]
     for index, adapter in enumerate(adapters):
         adapter.successor = adapters[(index + 1) % n_hosts]
     return sim, adapters
@@ -51,16 +57,18 @@ def run_throughput_experiment(
     config: Optional[LanaiConfig] = None,
     warmup_us: float = 50_000.0,
     measure_us: float = 500_000.0,
+    obs=None,
 ) -> TestbedResult:
     """Regenerate one point of Figure 12 (and 13).
 
     ``all_send=False`` is the figure's solid line (one host multicasting to
     the other seven); ``all_send=True`` the dashed line (every host
-    multicasting to every other host).
+    multicasting to every other host).  ``obs`` optionally attaches an
+    :class:`~repro.obs.Observability` bundle (reset at the end of warm-up).
     """
     if packet_size <= 0:
         raise ValueError("packet size must be positive")
-    sim, adapters = build_testbed(n_hosts, config)
+    sim, adapters = build_testbed(n_hosts, config, obs=obs)
     hop_count = n_hosts - 1  # stop at the previous node in the circuit
     senders = adapters if all_send else adapters[:1]
     for adapter in senders:
@@ -69,6 +77,8 @@ def run_throughput_experiment(
     sim.run(until=warmup_us)
     for adapter in adapters:
         adapter.stats.reset()
+    if obs is not None:
+        obs.reset(sim.now)
     sim.run(until=warmup_us + measure_us)
 
     receivers = [a for a in adapters if all_send or a is not adapters[0]]
@@ -80,6 +90,10 @@ def run_throughput_experiment(
     sent = sum(a.stats.originated for a in senders) * packet_size * 8.0
     sent_per_sender = sent / len(senders) / measure_us
     loss = sum(per_host_loss.values()) / len(per_host_loss)
+    obs_snapshot = None
+    if obs is not None:
+        obs.snapshot_testbed(per_host_throughput, per_host_loss)
+        obs_snapshot = obs.snapshot(sim.now)
     return TestbedResult(
         packet_size=packet_size,
         all_send=all_send,
@@ -89,6 +103,7 @@ def run_throughput_experiment(
         loss_rate_per_host=loss,
         per_host_throughput=per_host_throughput,
         per_host_loss=per_host_loss,
+        obs=obs_snapshot,
     )
 
 

@@ -95,7 +95,7 @@ class FlitAdapter:
             return False
         if record.injected_at is None:
             record.injected_at = now
-            self.network._note_injection()
+            self.network._note_injection(record)
         flit = record.flits[self._tx_pos]
         self.wire_out.push(flit, now)
         self._tx_pos += 1

@@ -103,6 +103,10 @@ class FlitNetwork:
         spans; ``"dense"`` is the reference loop that polls every switch
         and adapter each byte-time.  Both produce byte-identical worm
         timelines (see :mod:`repro.net.flitlevel.crosscheck`).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle; worm-lifecycle
+        hooks cost one pointer test each when ``None`` and are purely
+        passive when set (results stay byte-identical either way).
     """
 
     def __init__(
@@ -117,11 +121,13 @@ class FlitNetwork:
         flush_backoff: Tuple[int, int] = (200, 400),
         seed: int = 1,
         engine: str = "active",
+        obs=None,
     ) -> None:
         if engine not in ("active", "dense"):
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
         self._engine_active = engine == "active"
+        self.obs = obs
         self.topology = topology
         self.routing = routing or UpDownRouting(topology)
         self.mode = mode.value if isinstance(mode, MulticastMode) else mode
@@ -290,9 +296,11 @@ class FlitNetwork:
         old per-tick progress-signature tuple)."""
         self._progress_events += 1
 
-    def _note_injection(self) -> None:
+    def _note_injection(self, record: WormRecord) -> None:
         self._progress_events += 1
         self.worms_injected += 1
+        if self.obs is not None:
+            self.obs.flit_worm_injected(self.now, record)
 
     def _track_new_record(self, record: WormRecord) -> None:
         self.records[record.wid] = record
@@ -345,6 +353,8 @@ class FlitNetwork:
             if wire is not None:
                 lost |= wire.fail()
         self.link_faults += 1
+        if self.obs is not None:
+            self.obs.link_fault(self.now, link_id, "cut")
         for wid in sorted(lost):
             self.lose_worm(wid)
         self._refresh_down_ports()
@@ -356,6 +366,8 @@ class FlitNetwork:
     def repair_link(self, link_id: int) -> None:
         """Bring a failed link back; routing reconfigures to use it again."""
         self.topology.repair_link(link_id)
+        if self.obs is not None:
+            self.obs.link_fault(self.now, link_id, "repair")
         for wire in self._link_wires[link_id]:
             if wire is not None:
                 wire.repair()
@@ -495,6 +507,15 @@ class FlitNetwork:
                 # Every branch drained through its destination adapter:
                 # nothing of this worm remains in the fabric to expunge.
                 self._worm_sites.pop(wid, None)
+            if self.obs is not None:
+                latency = (
+                    now - record.injected_at
+                    if record.injected_at is not None
+                    else None
+                )
+                self.obs.flit_delivery(
+                    now, wid, host, latency, record.fully_delivered
+                )
         else:
             record.delivered_at[host] = now
         if record.group is None or record.message_id is None:
@@ -543,6 +564,8 @@ class FlitNetwork:
         if not self._expunge(wid):
             return
         self.worms_lost += 1
+        if self.obs is not None:
+            self.obs.flit_worm_lost(self.now, wid, reason)
         self._forget_record(wid)
 
     def flush(self, wid: int, reason: str = "") -> None:
@@ -551,6 +574,8 @@ class FlitNetwork:
         if not self._expunge(wid):
             return
         self.flushes += 1
+        if self.obs is not None:
+            self.obs.flit_flush(self.now, wid)
         record = self.records.get(wid)
         if record is None:
             return

@@ -168,6 +168,10 @@ class WormholeNetwork:
     restrict_to_tree:
         Confine *all* routes to the up/down spanning tree (the Section 3
         S1 scheme).
+    obs:
+        Optional :class:`~repro.obs.Observability`; records worm spans
+        (inject → head → tail) and delivery metrics.  ``None`` (the
+        default) costs one pointer test per worm event.
     """
 
     def __init__(
@@ -179,8 +183,10 @@ class WormholeNetwork:
         restrict_to_tree: bool = False,
         loss_rate: float = 0.0,
         loss_seed: int = 99,
+        obs=None,
     ) -> None:
         self.sim = sim
+        self.obs = obs
         self.topology = topology
         self.routing = routing or UpDownRouting(topology)
         if self.routing.topology is not topology:
@@ -332,6 +338,11 @@ class WormholeNetwork:
         if worm.source == worm.dest:
             raise ValueError("use the adapter local-copy path for self-delivery")
         transfer = Transfer(self.sim, worm)
+        if self.obs is not None:
+            self.obs.worm_injected(
+                self.sim.now, worm.wid, worm.source, worm.dest,
+                worm.length, worm.kind.value,
+            )
         try:
             channels = self.route_channels(worm.source, worm.dest)
         except ValueError:
@@ -362,6 +373,8 @@ class WormholeNetwork:
         yield sim.timeout(transfer.worm.length)
         transfer.finish_time = sim.now
         self.orphaned_worms += 1
+        if self.obs is not None:
+            self.obs.worm_dropped(sim.now, transfer.worm.wid, "orphaned")
         transfer.completed.succeed(transfer)
 
     def _run(
@@ -412,6 +425,8 @@ class WormholeNetwork:
                 yield sim.timeout(worm.length)
                 transfer.finish_time = sim.now
                 self.dropped_worms += 1
+                if self.obs is not None:
+                    self.obs.worm_dropped(sim.now, worm.wid, "dropped")
                 transfer.completed.succeed(transfer)
                 return
 
@@ -430,6 +445,8 @@ class WormholeNetwork:
             return
 
         transfer.head_time = sim.now
+        if self.obs is not None:
+            self.obs.worm_head(sim.now, worm.wid, worm.dest)
 
         watcher = self._head_watchers.get(worm.dest)
         transfer.head_arrived.succeed(transfer)
@@ -442,6 +459,11 @@ class WormholeNetwork:
         self.delivered_bytes += worm.length
         self.hop_latency.add(transfer.latency)
         self.block_time.add(transfer.blocked_time)
+        if self.obs is not None:
+            self.obs.worm_delivered(
+                sim.now, worm.wid, transfer.latency,
+                transfer.blocked_time, worm.length,
+            )
         transfer.completed.succeed(transfer)
         receiver = self._receivers.get(worm.dest)
         if receiver is not None:

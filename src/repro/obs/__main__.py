@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.obs``."""
+
+import sys
+
+from repro.obs.cli import main
+
+sys.exit(main())

@@ -1,0 +1,344 @@
+"""Labeled, tagged metrics over the :mod:`repro.sim.monitor` collectors.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics identified by
+``(name, tags)`` — e.g. ``channel.utilization{dst=7,src=3}`` — where each
+metric is one of the existing collector types (:class:`TallyStat`,
+:class:`Histogram`, :class:`RateMeter`, :class:`TimeWeightedStat`) or one
+of the two trivial types added here (:class:`Counter`, :class:`Gauge`).
+
+Three registry operations support the experiment life cycle:
+
+* :meth:`MetricsRegistry.reset` — warm-up reset: every collector restarts
+  its observation window at ``now`` (transient samples are discarded);
+* :meth:`MetricsRegistry.snapshot` — a canonical, strict-JSON dict of every
+  metric's state (NaN-free, tags stringified, entries sorted), suitable for
+  embedding in sweep records and for the on-disk caches;
+* :func:`merge_snapshots` — fold snapshots from independent runs (the
+  multiprocessing sweep workers) into one aggregate.  Merging is performed
+  in argument order, so merging per-point snapshots in record order yields
+  byte-identical aggregates whether the points executed sequentially or on
+  a pool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.sim.monitor import Histogram, RateMeter, TallyStat, TimeWeightedStat
+
+#: Snapshot schema version (bumped on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+TagKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class Counter:
+    """A monotonically increasing event/byte count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Gauge:
+    """A point-in-time value (set at snapshot time, e.g. a utilization)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def reset(self) -> None:
+        self.value = None
+
+
+def _tag_key(tags: Mapping[str, Any]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in tags.items()))
+
+
+def _nan_none(value: float) -> Optional[float]:
+    return None if value != value else value
+
+
+def metric_label(name: str, tags: Mapping[str, Any]) -> str:
+    """Human-readable ``name{k=v,...}`` form of a metric identity."""
+    if not tags:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, tagged collectors.
+
+    Accessors (:meth:`counter`, :meth:`gauge`, :meth:`tally`,
+    :meth:`histogram`, :meth:`rate`, :meth:`time_weighted`) return the
+    existing collector for ``(name, tags)`` or create it; repeated calls
+    with the same identity are cheap and always return the same object, so
+    hook sites do not need to cache handles for correctness.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[TagKey, Tuple[str, Any]] = {}
+        self._start = 0.0
+
+    # -- accessors ----------------------------------------------------------
+    def _get(self, kind: str, name: str, tags: Mapping[str, Any], factory):
+        key = (name, _tag_key(tags))
+        entry = self._metrics.get(key)
+        if entry is None:
+            entry = (kind, factory())
+            self._metrics[key] = entry
+            return entry[1]
+        if entry[0] != kind:
+            raise TypeError(
+                f"metric {metric_label(name, tags)} already registered "
+                f"as {entry[0]!r}, not {kind!r}"
+            )
+        return entry[1]
+
+    def counter(self, name: str, **tags: Any) -> Counter:
+        return self._get("counter", name, tags, lambda: Counter(name))
+
+    def gauge(self, name: str, **tags: Any) -> Gauge:
+        return self._get("gauge", name, tags, lambda: Gauge(name))
+
+    def tally(self, name: str, **tags: Any) -> TallyStat:
+        return self._get("tally", name, tags, lambda: TallyStat(name))
+
+    def histogram(
+        self,
+        name: str,
+        low: float = 0.0,
+        high: float = 100_000.0,
+        bins: int = 50,
+        **tags: Any,
+    ) -> Histogram:
+        """Bounds apply on first creation; later calls reuse the metric."""
+        return self._get(
+            "histogram", name, tags, lambda: Histogram(low, high, bins, name)
+        )
+
+    def rate(self, name: str, now: float = 0.0, **tags: Any) -> RateMeter:
+        return self._get("rate", name, tags, lambda: RateMeter(now, name))
+
+    def time_weighted(
+        self, name: str, now: float = 0.0, value: float = 0.0, **tags: Any
+    ) -> TimeWeightedStat:
+        return self._get(
+            "time_weighted", name, tags, lambda: TimeWeightedStat(now, value, name)
+        )
+
+    # -- iteration ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Tuple[str, Dict[str, str], str, Any]]:
+        """Yield ``(name, tags, kind, collector)`` in sorted identity order."""
+        for (name, tag_key), (kind, collector) in sorted(self._metrics.items()):
+            yield name, dict(tag_key), kind, collector
+
+    # -- life cycle ----------------------------------------------------------
+    def reset(self, now: float = 0.0) -> None:
+        """Warm-up reset: restart every collector's window at ``now``.
+
+        Counters and tallies zero out, histograms clear, gauges unset, and
+        the windowed collectors (:class:`RateMeter`, and
+        :class:`TimeWeightedStat` via its ``reset(now)``) restart their
+        observation window — the time-weighted signal value itself persists
+        across the reset, only its accumulated integral is discarded.
+        """
+        self._start = now
+        for kind, collector in self._metrics.values():
+            if kind in ("rate", "time_weighted"):
+                collector.reset(now)
+            elif kind == "tally":
+                collector.__init__(collector.name)
+            elif kind == "histogram":
+                for index in range(len(collector.counts)):
+                    collector.counts[index] = 0
+            else:  # counter / gauge
+                collector.reset()
+
+    # -- snapshot / merge ------------------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Canonical strict-JSON state of every metric.
+
+        ``now`` closes the observation window of the windowed collectors
+        (rates and time-weighted means); omit it to use each collector's
+        last update time.
+        """
+        entries: List[Dict[str, Any]] = []
+        for name, tags, kind, collector in self:
+            entry: Dict[str, Any] = {"name": name, "tags": tags, "type": kind}
+            if kind == "counter":
+                entry["value"] = collector.value
+            elif kind == "gauge":
+                entry["value"] = collector.value
+            elif kind == "tally":
+                entry.update(
+                    count=collector.count,
+                    mean=_nan_none(collector._mean) if collector.count else None,
+                    m2=collector._m2 if collector.count else None,
+                    min=collector.minimum if collector.count else None,
+                    max=collector.maximum if collector.count else None,
+                )
+            elif kind == "histogram":
+                entry.update(
+                    low=collector.low,
+                    high=collector.high,
+                    bins=collector.bins,
+                    counts=list(collector.counts),
+                )
+            elif kind == "rate":
+                end = collector._start if now is None else now
+                entry.update(
+                    total=collector.total,
+                    events=collector.events,
+                    elapsed=max(0.0, end - collector._start),
+                )
+            elif kind == "time_weighted":
+                end = collector._last_time if now is None else now
+                integral = collector._integral
+                if end > collector._last_time:
+                    integral += collector._value * (end - collector._last_time)
+                entry.update(
+                    integral=integral,
+                    elapsed=max(0.0, end - collector._start),
+                    value=collector._value,
+                )
+            entries.append(entry)
+        return {"version": SNAPSHOT_VERSION, "metrics": entries}
+
+
+def _merge_entry(into: Dict[str, Any], entry: Dict[str, Any]) -> None:
+    kind = into["type"]
+    if kind != entry["type"]:
+        raise ValueError(
+            f"metric {metric_label(into['name'], into['tags'])} has "
+            f"conflicting types {kind!r} vs {entry['type']!r}"
+        )
+    if kind == "counter":
+        into["value"] += entry["value"]
+    elif kind == "gauge":
+        if entry["value"] is not None:
+            into["value"] = entry["value"]  # last writer wins
+    elif kind == "tally":
+        if not entry["count"]:
+            return
+        if not into["count"]:
+            into.update(entry)
+            return
+        n1, n2 = into["count"], entry["count"]
+        total = n1 + n2
+        delta = entry["mean"] - into["mean"]
+        into["m2"] = into["m2"] + entry["m2"] + delta * delta * n1 * n2 / total
+        into["mean"] += delta * n2 / total
+        into["count"] = total
+        into["min"] = min(into["min"], entry["min"])
+        into["max"] = max(into["max"], entry["max"])
+    elif kind == "histogram":
+        if (into["low"], into["high"], into["bins"]) != (
+            entry["low"], entry["high"], entry["bins"]
+        ):
+            raise ValueError(
+                f"histogram {metric_label(into['name'], into['tags'])} has "
+                "mismatched bounds across snapshots"
+            )
+        into["counts"] = [a + b for a, b in zip(into["counts"], entry["counts"])]
+    elif kind == "rate":
+        into["total"] += entry["total"]
+        into["events"] += entry["events"]
+        into["elapsed"] += entry["elapsed"]
+    elif kind == "time_weighted":
+        into["integral"] += entry["integral"]
+        into["elapsed"] += entry["elapsed"]
+        into["value"] = entry["value"]
+    else:
+        raise ValueError(f"unknown metric type {kind!r}")
+
+
+def merge_snapshots(snapshots) -> Dict[str, Any]:
+    """Fold metric snapshots into one aggregate, in argument order.
+
+    Counters, histograms, rates and time-weighted integrals sum; tallies
+    combine with the parallel Welford merge; gauges keep the last defined
+    value.  Sums and counts merge associatively; the floating-point tally
+    moments are merge-*order*-dependent, so callers wanting reproducible
+    aggregates must merge in a deterministic order (the sweep runner merges
+    in record order, which is identical for sequential and parallel runs).
+    """
+    merged: Dict[TagKey, Dict[str, Any]] = {}
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        version = snapshot.get("version", SNAPSHOT_VERSION)
+        if version != SNAPSHOT_VERSION:
+            raise ValueError(f"unsupported snapshot version {version}")
+        for entry in snapshot["metrics"]:
+            key = (entry["name"], _tag_key(entry["tags"]))
+            existing = merged.get(key)
+            if existing is None:
+                merged[key] = {
+                    k: (list(v) if isinstance(v, list) else v)
+                    for k, v in entry.items()
+                }
+            else:
+                _merge_entry(existing, entry)
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": [merged[key] for key in sorted(merged)],
+    }
+
+
+def summarize_entry(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Reader-facing summary of one snapshot entry (derived statistics)."""
+    kind = entry["type"]
+    if kind in ("counter", "gauge"):
+        return {"value": entry["value"]}
+    if kind == "tally":
+        count = entry["count"]
+        stdev = None
+        if count and count > 1 and entry["m2"] is not None:
+            var = entry["m2"] / (count - 1)
+            stdev = math.sqrt(var) if var >= 0 else None
+        return {
+            "count": count,
+            "mean": entry.get("mean"),
+            "stdev": stdev,
+            "min": entry.get("min"),
+            "max": entry.get("max"),
+        }
+    if kind == "histogram":
+        return {
+            "total": sum(entry["counts"]),
+            "under": entry["counts"][0],
+            "over": entry["counts"][-1],
+        }
+    if kind == "rate":
+        elapsed = entry["elapsed"]
+        return {
+            "total": entry["total"],
+            "events": entry["events"],
+            "rate": entry["total"] / elapsed if elapsed > 0 else None,
+        }
+    if kind == "time_weighted":
+        elapsed = entry["elapsed"]
+        return {
+            "mean": entry["integral"] / elapsed if elapsed > 0 else None,
+            "value": entry["value"],
+        }
+    raise ValueError(f"unknown metric type {kind!r}")

@@ -1,0 +1,191 @@
+"""Structured event tracing with a bounded ring buffer.
+
+The tracer records three phases, mirroring the Chrome trace-event format:
+
+* ``B``/``E`` — span begin/end, matched by ``(name, key)`` (e.g. one span
+  per worm id from injection to tail release);
+* ``i`` — instant events (head arrivals, flushes, faults).
+
+Recording is append-only into a fixed-capacity ring buffer: when the
+buffer is full the oldest events are overwritten and counted in
+:attr:`EventTracer.dropped`, so a tracer can stay attached to an
+arbitrarily long run with bounded memory.
+
+Two export formats:
+
+* :meth:`EventTracer.export_jsonl` — one JSON object per line, preceded by
+  a header line (``{"kind": "repro-trace", ...}``); the native format the
+  ``python -m repro.obs`` CLI summarizes and validates.
+* :meth:`EventTracer.export_chrome` — the Chrome trace-event JSON array
+  loadable in ``chrome://tracing`` / Perfetto.  Every span key gets its own
+  ``tid``, so overlapping worm spans render as parallel tracks and B/E
+  pairs nest trivially.  Span ends whose begin was overwritten by the ring
+  are skipped (they cannot be rendered), and still-open spans are exported
+  as-is — both tools tolerate unclosed ``B`` events.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+JSONL_KIND = "repro-trace"
+JSONL_VERSION = 1
+
+
+class TraceEvent:
+    """One recorded event (a slot in the ring buffer)."""
+
+    __slots__ = ("ts", "ph", "name", "key", "args")
+
+    def __init__(
+        self, ts: float, ph: str, name: str, key: int, args: Optional[Dict[str, Any]]
+    ) -> None:
+        self.ts = ts
+        self.ph = ph
+        self.name = name
+        self.key = key
+        self.args = args
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry: Dict[str, Any] = {
+            "ts": self.ts, "ph": self.ph, "name": self.name, "key": self.key,
+        }
+        if self.args:
+            entry["args"] = self.args
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TraceEvent {self.ph} {self.name}/{self.key} @{self.ts}>"
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent` records."""
+
+    __slots__ = ("capacity", "_ring", "_head", "recorded", "dropped")
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._ring: List[TraceEvent] = []
+        self._head = 0  # next overwrite position once the ring is full
+        #: Total events ever recorded (recorded - len(events()) == dropped).
+        self.recorded = 0
+        #: Events overwritten by ring wrap-around.
+        self.dropped = 0
+
+    # -- recording (hot path) -------------------------------------------------
+    def _record(self, event: TraceEvent) -> None:
+        ring = self._ring
+        self.recorded += 1
+        if len(ring) < self.capacity:
+            ring.append(event)
+            return
+        ring[self._head] = event
+        self._head = (self._head + 1) % self.capacity
+        self.dropped += 1
+
+    def begin(self, ts: float, name: str, key: int = 0, **args: Any) -> None:
+        """Open the span ``(name, key)`` at ``ts``."""
+        self._record(TraceEvent(ts, "B", name, key, args or None))
+
+    def end(self, ts: float, name: str, key: int = 0, **args: Any) -> None:
+        """Close the span ``(name, key)`` at ``ts``."""
+        self._record(TraceEvent(ts, "E", name, key, args or None))
+
+    def instant(self, ts: float, name: str, key: int = 0, **args: Any) -> None:
+        """Record a point event."""
+        self._record(TraceEvent(ts, "i", name, key, args or None))
+
+    # -- reading ------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """Retained events in recording order (oldest first)."""
+        return self._ring[self._head:] + self._ring[: self._head]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._head = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def span_durations(self) -> Dict[str, List[float]]:
+        """Durations of completed spans, grouped by span name.
+
+        Matches ``B``/``E`` by ``(name, key)`` over the retained events;
+        ends without a retained begin (lost to ring wrap) are ignored.
+        """
+        open_spans: Dict[Tuple[str, int], List[float]] = {}
+        durations: Dict[str, List[float]] = {}
+        for event in self.events():
+            if event.ph == "B":
+                open_spans.setdefault((event.name, event.key), []).append(event.ts)
+            elif event.ph == "E":
+                stack = open_spans.get((event.name, event.key))
+                if stack:
+                    durations.setdefault(event.name, []).append(
+                        event.ts - stack.pop()
+                    )
+        return durations
+
+    # -- export ------------------------------------------------------------
+    def export_jsonl(self, path) -> int:
+        """Write header + one event per line; returns the event count."""
+        events = self.events()
+        with open(path, "w") as fh:
+            header = {
+                "kind": JSONL_KIND,
+                "version": JSONL_VERSION,
+                "events": len(events),
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+            }
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in events:
+                fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+        return len(events)
+
+    def export_chrome(self, path, pid: int = 1) -> int:
+        """Write a Chrome trace-event JSON array; returns the event count.
+
+        Span keys map to ``tid`` so concurrent spans occupy separate
+        tracks; instant events share ``tid 0`` with scope ``t``.  ``E``
+        events whose ``B`` was overwritten by the ring are skipped so every
+        exported ``E`` has a matching earlier ``B`` on its track.
+        """
+        entries: List[Dict[str, Any]] = []
+        open_depth: Dict[Tuple[str, int], int] = {}
+        for event in self.events():
+            if event.ph == "E":
+                key = (event.name, event.key)
+                depth = open_depth.get(key, 0)
+                if depth <= 0:
+                    continue  # begin lost to ring wrap: unmatched end
+                open_depth[key] = depth - 1
+            elif event.ph == "B":
+                key = (event.name, event.key)
+                open_depth[key] = open_depth.get(key, 0) + 1
+            entry: Dict[str, Any] = {
+                "name": event.name,
+                "ph": event.ph,
+                "ts": event.ts,
+                "pid": pid,
+                "tid": event.key,
+            }
+            if event.ph == "i":
+                entry["s"] = "t"
+            if event.args:
+                entry["args"] = event.args
+            entries.append(entry)
+        with open(path, "w") as fh:
+            json.dump({"traceEvents": entries, "displayTimeUnit": "ns"}, fh)
+        return len(entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<EventTracer {len(self._ring)}/{self.capacity} "
+            f"dropped={self.dropped}>"
+        )

@@ -54,6 +54,10 @@ class Simulator:
         Optional :class:`~repro.sim.trace.SimTrace` that counts processed
         events and process wakeups (cheap enough to leave on for profiling
         runs; ``None`` costs one pointer test per event).
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle; when given (and
+        ``trace`` is not), its kernel :class:`SimTrace` is attached so
+        kernel event counts land in the bundle's snapshots.
 
     Example
     -------
@@ -68,8 +72,13 @@ class Simulator:
     """
 
     def __init__(
-        self, start_time: float = 0.0, trace: Optional[SimTrace] = None
+        self,
+        start_time: float = 0.0,
+        trace: Optional[SimTrace] = None,
+        obs: Optional[Any] = None,
     ) -> None:
+        if trace is None and obs is not None:
+            trace = obs.kernel
         self._now = float(start_time)
         self._queue: List[Tuple[float, int, Any]] = []
         self._eid = 0

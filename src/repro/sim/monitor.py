@@ -104,7 +104,8 @@ class TimeWeightedStat:
         self.update(now, self._value + delta)
 
     def mean(self, now: Optional[float] = None) -> float:
-        """Time-average from creation until ``now`` (default: last update)."""
+        """Time-average from the window start until ``now`` (default: last
+        update).  The window starts at creation or the last :meth:`reset`."""
         end = self._last_time if now is None else now
         if end < self._last_time:
             raise ValueError("time went backwards")
@@ -112,6 +113,20 @@ class TimeWeightedStat:
         if elapsed <= 0:
             return math.nan
         return (self._integral + self._value * (end - self._last_time)) / elapsed
+
+    def reset(self, now: float) -> None:
+        """Restart the averaging window (used to discard warm-up transients).
+
+        The current signal *value* persists — a queue does not empty just
+        because measurement starts — but the accumulated integral is
+        discarded, so time-weighted means cover only the post-reset window
+        (mirroring :meth:`RateMeter.reset`).
+        """
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._integral = 0.0
+        self._start = now
+        self._last_time = now
 
 
 class RateMeter:
@@ -161,6 +176,11 @@ class Histogram:
             self.counts[-1] += 1
         else:
             index = 1 + int((value - self.low) / self._width)
+            if index > self.bins:
+                # Float rounding at a bin edge can push an in-range value
+                # (value < high) to index bins + 1, which would land it in
+                # the overflow tail; clamp to the last real bin.
+                index = self.bins
             self.counts[index] += 1
 
     @property
@@ -197,7 +217,10 @@ def batch_means_ci(
 
     Splits ``samples`` into ``batches`` contiguous batches and treats batch
     means as approximately independent — the standard steady-state DES
-    output-analysis technique.
+    output-analysis technique.  When ``n`` is not divisible by ``batches``
+    the remainder ``n % batches`` samples are folded into the final batch,
+    so every sample contributes (dropping the tail would bias the reported
+    mean towards the earlier part of the series).
     """
     n = len(samples)
     if n == 0:
@@ -208,7 +231,8 @@ def batch_means_ci(
         batches, size = n, 1
     means = []
     for b in range(batches):
-        chunk = samples[b * size : (b + 1) * size]
+        end = (b + 1) * size if b < batches - 1 else n
+        chunk = samples[b * size : end]
         means.append(sum(chunk) / len(chunk))
     grand = sum(means) / len(means)
     if len(means) < 2:

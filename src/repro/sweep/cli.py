@@ -92,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run sequentially and fail unless records match byte-for-byte",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="embed a per-point observability metrics snapshot in each "
+        "record and a record-order merge in the --out payload",
+    )
     return parser
 
 
@@ -102,6 +108,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         spec = builder(scale=args.scale)  # testbed sweep is deterministic, no seed
     else:
         spec = builder(scale=args.scale, seed=args.seed)
+    if args.obs:
+        spec.base["obs"] = True
     print(spec.describe())
 
     if args.dry_run:
@@ -170,6 +178,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             },
             "results": outcome.records,
         }
+        if args.obs:
+            payload["obs"] = outcome.merged_obs()
         args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
         print(f"records written to {args.out}")
 

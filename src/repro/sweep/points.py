@@ -43,6 +43,21 @@ def sanitize_record(obj: Any) -> Any:
 POINT_KINDS: Dict[str, PointFn] = {}
 
 
+def _point_obs(params: Dict[str, Any]):
+    """Metrics-only observability bundle when the point asks for one.
+
+    Sweep points run in worker processes, so the trace ring and kernel
+    counters stay off (``params["obs"]`` only buys the mergeable metric
+    snapshot embedded in the record); all hooks remain passive, so records
+    are byte-identical with and without it.
+    """
+    if not params.get("obs"):
+        return None
+    from repro.obs import Observability
+
+    return Observability(tracer=None, kernel=False)
+
+
 def point_kind(name: str) -> Callable[[PointFn], PointFn]:
     """Register an executor under ``name``."""
 
@@ -74,7 +89,7 @@ def _load_point(params: Dict[str, Any]) -> Dict[str, Any]:
     (a name from :data:`repro.traffic.workloads.SCHEMES_BY_NAME`), ``load``.
     Optional: ``multicast_fraction``, ``mean_length``, ``group_count``,
     ``group_size``, ``warmup_deliveries``, ``measure_deliveries``,
-    ``max_sim_time``, ``seed``.
+    ``max_sim_time``, ``seed``, ``obs`` (embed a metrics snapshot).
     """
     from repro.traffic.workloads import (
         GroupPlan,
@@ -104,6 +119,7 @@ def _load_point(params: Dict[str, Any]) -> Dict[str, Any]:
         warmup_deliveries=int(params.get("warmup_deliveries", 300)),
         measure_deliveries=int(params.get("measure_deliveries", 2000)),
         max_sim_time=float(params.get("max_sim_time", 5e7)),
+        obs=_point_obs(params),
     )
     return sanitize_record(dataclasses.asdict(result))
 
@@ -135,6 +151,7 @@ def _fault_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
         measure_time=float(params.get("measure_time", 400_000.0)),
         detection_delay=float(params.get("detection_delay", 100.0)),
         seed=int(params.get("seed", 1)),
+        obs=_point_obs(params),
     )
     return sanitize_record(record)
 
@@ -164,6 +181,7 @@ def _repair_campaign(params: Dict[str, Any]) -> Dict[str, Any]:
         request_timeout=float(params.get("request_timeout", 3_000.0)),
         heartbeat_period=float(params.get("heartbeat_period", 10_000.0)),
         max_sim_time=float(params.get("max_sim_time", 5e6)),
+        obs=_point_obs(params),
     )
     return sanitize_record(record)
 
@@ -183,6 +201,7 @@ def _myrinet_throughput(params: Dict[str, Any]) -> Dict[str, Any]:
         n_hosts=int(params.get("n_hosts", 8)),
         warmup_us=float(params.get("warmup_us", 50_000.0)),
         measure_us=float(params.get("measure_us", 500_000.0)),
+        obs=_point_obs(params),
     )
     return sanitize_record(dataclasses.asdict(result))
 

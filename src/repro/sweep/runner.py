@@ -54,6 +54,23 @@ class SweepOutcome:
     def points_per_second(self) -> float:
         return len(self.records) / self.wall_time if self.wall_time > 0 else 0.0
 
+    def merged_obs(self) -> Optional[Dict[str, Any]]:
+        """Merge the per-point ``"obs"`` snapshots, in record order.
+
+        Record order equals point order regardless of worker count, so a
+        parallel sweep merges to the byte-identical aggregate a sequential
+        sweep produces (floating-point merges are order-sensitive; fixing
+        the order fixes the result).  Returns None when no record carries a
+        snapshot (points run without ``obs: true``).
+        """
+        from repro.obs import merge_snapshots
+
+        snapshots = [r.get("obs") for r in self.records]
+        snapshots = [s for s in snapshots if s]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
+
     def bench_entry(self, label: str, **extra: Any) -> Dict[str, Any]:
         """A machine-readable trajectory entry for ``BENCH_*.json`` files."""
         entry = {
@@ -152,7 +169,9 @@ def records_to_results(records: List[Dict[str, Any]]) -> list:
     results = []
     for record in records:
         fixed = {
-            key: math.nan if value is None else value
+            # Only scalar measurement fields encode NaN as None; the obs
+            # snapshot and extras are containers where None means "absent".
+            key: math.nan if value is None and key not in ("obs", "extras") else value
             for key, value in record.items()
         }
         results.append(ExperimentResult(**fixed))

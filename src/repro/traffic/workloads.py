@@ -102,6 +102,9 @@ class ExperimentResult:
     mean_channel_utilization: float
     sim_time: float
     extras: Dict[str, float] = field(default_factory=dict)
+    #: Observability snapshot (strict JSON; see :mod:`repro.obs`) when the
+    #: point ran with an attached bundle, else None.
+    obs: Optional[Dict] = None
 
 
 def fig10_setup() -> dict:
@@ -173,17 +176,22 @@ def build_engine(
     groups: GroupPlan,
     seed: int = 1,
     routing: Optional[UpDownRouting] = None,
+    obs=None,
 ) -> tuple:
     """Wire up simulator, network, engine and groups for one run.
 
     Group membership depends only on ``seed``, so different schemes at the
     same seed multicast over identical groups (common random numbers).
+    ``obs`` optionally attaches one :class:`~repro.obs.Observability`
+    bundle to the simulator kernel, the network and the engine.
     """
-    sim = Simulator()
+    sim = Simulator(obs=obs)
     routing = routing or UpDownRouting(topology)
-    net = WormholeNetwork(sim, topology, routing=routing)
+    net = WormholeNetwork(sim, topology, routing=routing, obs=obs)
     rng = RandomStreams(seed=seed)
-    engine = MulticastEngine(sim, net, scheme_setup.adapter_config(), rng=rng)
+    engine = MulticastEngine(
+        sim, net, scheme_setup.adapter_config(), rng=rng, obs=obs
+    )
     membership_stream = rng.stream("groups.membership")
     hosts = topology.hosts
     structure_kwargs = {}
@@ -209,6 +217,7 @@ def run_load_point(
     measure_deliveries: int = 2000,
     max_sim_time: float = 5e7,
     collect_samples: bool = False,
+    obs=None,
 ) -> ExperimentResult:
     """Simulate one (scheme, load) point to steady state and measure.
 
@@ -217,6 +226,11 @@ def run_load_point(
     ``measure_deliveries`` more have accumulated (or ``max_sim_time`` is
     reached -- the saturation guard: beyond saturation latency diverges and
     the run is reported with whatever accumulated).
+
+    With ``obs`` attached, the bundle's metric windows are reset together
+    with the model statistics at the end of warm-up, channel gauges are
+    published at the end of the run, and the result carries
+    ``result.obs = obs.snapshot(sim.now)``.
     """
     setup = setup or fig10_setup()
     fraction = (
@@ -226,7 +240,7 @@ def run_load_point(
     )
     topology, routing = shared_topology(setup)
     sim, net, engine = build_engine(
-        topology, scheme_setup, setup["groups"], seed, routing=routing
+        topology, scheme_setup, setup["groups"], seed, routing=routing, obs=obs
     )
     traffic = TrafficGenerator(
         sim,
@@ -257,6 +271,8 @@ def run_load_point(
             break
     engine.reset_stats()
     net.reset_stats()
+    if obs is not None:
+        obs.reset(sim.now)
     samples.clear()
     while engine.delivery_latency.count < measure_deliveries:
         sim.run(until=sim.now + chunk)
@@ -264,6 +280,10 @@ def run_load_point(
             break
 
     ci = batch_means_ci(samples, batches=20) if samples else {"half_width": float("nan")}
+    obs_snapshot = None
+    if obs is not None:
+        obs.snapshot_wormnet(net, sim.now)
+        obs_snapshot = obs.snapshot(sim.now)
     return ExperimentResult(
         scheme=scheme_setup.name,
         offered_load=offered_load,
@@ -279,6 +299,7 @@ def run_load_point(
         ),
         mean_channel_utilization=net.mean_utilization(),
         sim_time=sim.now,
+        obs=obs_snapshot,
     )
 
 

@@ -88,3 +88,39 @@ def test_series_by_scheme_sorted():
     )
     assert series["a"] == [(0.04, 1.0), (0.08, 2.0)]
     assert list(series) == ["a", "b"]
+
+
+def test_crossover_touch_and_recede_is_not_a_crossover():
+    # a touches b exactly at x=2 then goes back above: no side change.
+    a = [(1, 5.0), (2, 3.0), (3, 5.0)]
+    b = [(1, 3.0), (2, 3.0), (3, 3.0)]
+    assert crossover_point(a, b, direction="any") is None
+
+
+def test_crossover_through_exact_touch_returns_touch_point():
+    # below -> equal -> above: the curves first meet at x=2.
+    a = [(1, 1.0), (2, 3.0), (3, 5.0)]
+    b = [(1, 2.0), (2, 3.0), (3, 4.0)]
+    assert crossover_point(a, b) == 2
+
+
+def test_crossover_downward_direction():
+    a = [(1, 5.0), (2, 1.0)]
+    b = [(1, 3.0), (2, 3.0)]
+    # a crosses b from above to below: invisible to the default "up".
+    assert crossover_point(a, b) is None
+    assert crossover_point(a, b, direction="down") == pytest.approx(1.5)
+    assert crossover_point(a, b, direction="any") == pytest.approx(1.5)
+
+
+def test_crossover_up_ignores_downward_crossing_then_finds_upward():
+    # down at x~1.5, back up at x~3.5: "up" reports only the second.
+    a = [(1, 5.0), (2, 1.0), (3, 1.0), (4, 5.0)]
+    b = [(1, 3.0), (2, 3.0), (3, 3.0), (4, 3.0)]
+    assert crossover_point(a, b, direction="up") == pytest.approx(3.5)
+    assert crossover_point(a, b, direction="down") == pytest.approx(1.5)
+
+
+def test_crossover_unknown_direction_rejected():
+    with pytest.raises(ValueError):
+        crossover_point([(1, 1.0), (2, 2.0)], [(1, 2.0), (2, 1.0)], direction="sideways")

@@ -1,0 +1,110 @@
+"""End-to-end tests for the ``python -m repro.obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+
+
+@pytest.fixture(scope="module")
+def fig3_export(tmp_path_factory):
+    """One exported Fig-3 run shared by every CLI test (they only read)."""
+    out = tmp_path_factory.mktemp("fig3obs")
+    code = main(["fig3", "--out", str(out), "--max-ticks", "20000"])
+    assert code == 0
+    return out
+
+
+def test_fig3_exports_all_files(fig3_export, capsys):
+    for name in ("trace.jsonl", "trace.chrome.json", "metrics.json",
+                 "deliveries.json"):
+        assert (fig3_export / name).exists(), name
+    deliveries = json.loads((fig3_export / "deliveries.json").read_text())
+    assert deliveries["status"] == "delivered"
+    assert len(deliveries["deliveries"]) == 2  # multicast + unicast worms
+    # Worm records are exported id-free (worm ids are process-global).
+    for record in deliveries["deliveries"]:
+        assert "wid" not in record
+        assert record["delivered_at"]
+
+
+def test_validate_accepts_exports(fig3_export, capsys):
+    code = main([
+        "validate",
+        "--trace", str(fig3_export / "trace.jsonl"),
+        "--chrome", str(fig3_export / "trace.chrome.json"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.count("OK") == 2
+
+
+def test_validate_rejects_corrupt_trace(fig3_export, tmp_path, capsys):
+    lines = (fig3_export / "trace.jsonl").read_text().splitlines()
+    header = json.loads(lines[0])
+    events = [json.loads(line) for line in lines[1:]]
+    events[0]["ts"] = events[-1]["ts"] + 1e9  # break monotonicity
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(
+        "\n".join([json.dumps(header)] + [json.dumps(e) for e in events]) + "\n"
+    )
+    code = main(["validate", "--trace", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "INVALID" in out
+
+
+def test_validate_requires_an_input(capsys):
+    assert main(["validate"]) == 2
+
+
+def test_summary_renders_counts_and_spans(fig3_export, capsys):
+    code = main([
+        "summary",
+        "--trace", str(fig3_export / "trace.jsonl"),
+        "--metrics", str(fig3_export / "metrics.json"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "per-name counts:" in out
+    assert "flit.worm" in out  # worm spans from injection to delivery
+    assert "metrics:" in out
+
+
+def test_hot_channels_ranks_links(fig3_export, capsys):
+    code = main(["hot-channels", "--metrics", str(fig3_export / "metrics.json")])
+    out = capsys.readouterr().out.splitlines()
+    assert code == 0
+    assert "link.flits" in out[0]
+    values = [float(line.rsplit(None, 1)[1]) for line in out[1:]]
+    assert values == sorted(values, reverse=True) and values
+
+
+def test_hot_channels_unknown_gauge_lists_alternatives(fig3_export, capsys):
+    code = main([
+        "hot-channels",
+        "--metrics", str(fig3_export / "metrics.json"),
+        "--name", "no.such.gauge",
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "known gauges" in out and "link.flits" in out
+
+
+def test_latency_renders_histogram(fig3_export, capsys):
+    code = main(["latency", "--metrics", str(fig3_export / "metrics.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "flit.delivery_latency_hist" in out
+    assert "#" in out  # at least one bar
+
+
+def test_latency_unknown_histogram_fails(fig3_export, capsys):
+    code = main([
+        "latency",
+        "--metrics", str(fig3_export / "metrics.json"),
+        "--name", "no.such.hist",
+    ])
+    assert code == 1
+    assert "known" in capsys.readouterr().out

@@ -1,0 +1,201 @@
+"""Tests for the labeled metrics registry and snapshot merging."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    SNAPSHOT_VERSION,
+    merge_snapshots,
+    metric_label,
+    summarize_entry,
+)
+
+
+def test_get_or_create_returns_same_collector():
+    reg = MetricsRegistry()
+    a = reg.counter("worm.injected")
+    b = reg.counter("worm.injected")
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_tags_distinguish_metrics():
+    reg = MetricsRegistry()
+    a = reg.gauge("channel.utilization", src=3, dst=7)
+    b = reg.gauge("channel.utilization", src=7, dst=3)
+    assert a is not b
+    assert len(reg) == 2
+
+
+def test_tag_order_is_canonical():
+    reg = MetricsRegistry()
+    a = reg.counter("x", src=1, dst=2)
+    b = reg.counter("x", dst=2, src=1)
+    assert a is b
+
+
+def test_kind_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(TypeError):
+        reg.gauge("m")
+
+
+def test_metric_label_format():
+    assert metric_label("lat", {}) == "lat"
+    assert metric_label("u", {"src": 3, "dst": 7}) == "u{dst=7,src=3}"
+
+
+def test_snapshot_is_strict_json_and_sorted():
+    reg = MetricsRegistry()
+    reg.counter("b").add(2)
+    reg.counter("a").add(1)
+    reg.tally("t")  # empty tally: mean is NaN -> must serialize as None
+    snap = reg.snapshot()
+    assert snap["version"] == SNAPSHOT_VERSION
+    names = [e["name"] for e in snap["metrics"]]
+    assert names == sorted(names)
+    text = json.dumps(snap, allow_nan=False)  # raises on NaN/inf
+    assert "NaN" not in text
+
+
+def test_snapshot_round_trips_tally_stats():
+    reg = MetricsRegistry()
+    t = reg.tally("lat")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        t.add(v)
+    entry = reg.snapshot()["metrics"][0]
+    summary = summarize_entry(entry)
+    assert summary["count"] == 4
+    assert summary["mean"] == pytest.approx(2.5)
+    assert summary["stdev"] == pytest.approx(t.stdev)
+    assert summary["min"] == 1.0 and summary["max"] == 4.0
+
+
+def test_reset_restarts_every_window():
+    reg = MetricsRegistry()
+    reg.counter("c").add(5)
+    reg.gauge("g").set(1.0)
+    reg.tally("t").add(3.0)
+    reg.histogram("h", 0.0, 10.0, 5).add(2.0)
+    reg.rate("r", now=0.0).add(100.0)
+    tw = reg.time_weighted("w", now=0.0, value=2.0)
+    tw.update(5.0, 4.0)
+
+    reg.reset(10.0)
+    assert reg.counter("c").value == 0
+    assert reg.gauge("g").value is None
+    assert reg.tally("t").count == 0
+    assert sum(reg.histogram("h").counts) == 0
+    assert reg.rate("r").total == 0
+    # Time-weighted: value persists, integral restarts.
+    assert tw.value == 4.0
+    tw.update(20.0, 0.0)
+    assert tw.mean(20.0) == pytest.approx(4.0)
+
+
+def _snap_with(counter=0, tally=(), hist=()):
+    reg = MetricsRegistry()
+    if counter:
+        reg.counter("c").add(counter)
+    t = reg.tally("t")
+    for v in tally:
+        t.add(v)
+    h = reg.histogram("h", 0.0, 10.0, 5)
+    for v in hist:
+        h.add(v)
+    return reg.snapshot()
+
+
+def test_merge_counters_and_histograms_sum():
+    merged = merge_snapshots(
+        [_snap_with(counter=2, hist=[1.0]), _snap_with(counter=3, hist=[1.0, 11.0])]
+    )
+    by_name = {e["name"]: e for e in merged["metrics"]}
+    assert by_name["c"]["value"] == 5
+    assert sum(by_name["h"]["counts"]) == 3
+    assert by_name["h"]["counts"][-1] == 1  # overflow preserved
+
+
+def test_merge_tally_matches_sequential_welford():
+    from repro.sim.monitor import TallyStat
+
+    xs, ys = [1.0, 5.0, 2.0], [10.0, 3.0]
+    merged = merge_snapshots([_snap_with(tally=xs), _snap_with(tally=ys)])
+    entry = next(e for e in merged["metrics"] if e["name"] == "t")
+    reference = TallyStat()
+    for v in xs + ys:
+        reference.add(v)
+    assert entry["count"] == 5
+    assert entry["mean"] == pytest.approx(reference.mean)
+    assert summarize_entry(entry)["stdev"] == pytest.approx(reference.stdev)
+
+
+def test_merge_counter_histogram_associative():
+    a = _snap_with(counter=1, hist=[1.0])
+    b = _snap_with(counter=2, hist=[3.0])
+    c = _snap_with(counter=4, hist=[7.0])
+    left = merge_snapshots([merge_snapshots([a, b]), c])
+    right = merge_snapshots([a, merge_snapshots([b, c])])
+    flat = merge_snapshots([a, b, c])
+    def ints_only(snap):
+        return [
+            {k: v for k, v in e.items() if k in ("name", "value", "counts")}
+            for e in snap["metrics"]
+            if e["name"] in ("c", "h")
+        ]
+    assert ints_only(left) == ints_only(right) == ints_only(flat)
+
+
+def test_merge_same_order_is_byte_identical():
+    snaps = [_snap_with(counter=i, tally=[float(i)]) for i in range(1, 5)]
+    once = json.dumps(merge_snapshots(snaps), sort_keys=True)
+    again = json.dumps(merge_snapshots(snaps), sort_keys=True)
+    assert once == again
+
+
+def test_merge_empty_tally_is_identity():
+    data = _snap_with(tally=[2.0, 4.0])
+    empty = _snap_with()
+    merged = merge_snapshots([empty, data, empty])
+    entry = next(e for e in merged["metrics"] if e["name"] == "t")
+    assert entry["count"] == 2
+    assert entry["mean"] == pytest.approx(3.0)
+
+
+def test_merge_mismatched_histogram_bounds_rejected():
+    reg1 = MetricsRegistry()
+    reg1.histogram("h", 0.0, 10.0, 5).add(1.0)
+    reg2 = MetricsRegistry()
+    reg2.histogram("h", 0.0, 20.0, 5).add(1.0)
+    with pytest.raises(ValueError):
+        merge_snapshots([reg1.snapshot(), reg2.snapshot()])
+
+
+def test_merge_gauge_last_writer_wins():
+    reg1 = MetricsRegistry()
+    reg1.gauge("g").set(1.0)
+    reg2 = MetricsRegistry()
+    reg2.gauge("g")  # registered but unset: must not clobber
+    reg3 = MetricsRegistry()
+    reg3.gauge("g").set(3.0)
+    merged = merge_snapshots([reg1.snapshot(), reg2.snapshot(), reg3.snapshot()])
+    assert merged["metrics"][0]["value"] == 3.0
+
+
+def test_merge_unknown_version_rejected():
+    snap = _snap_with(counter=1)
+    snap["version"] = 99
+    with pytest.raises(ValueError):
+        merge_snapshots([snap, _snap_with(counter=1)])
+
+
+def test_rate_snapshot_closes_window_at_now():
+    reg = MetricsRegistry()
+    reg.rate("r", now=0.0).add(50.0)
+    entry = reg.snapshot(now=10.0)["metrics"][0]
+    assert entry["elapsed"] == 10.0
+    assert summarize_entry(entry)["rate"] == pytest.approx(5.0)

@@ -1,0 +1,107 @@
+"""Observability must not perturb results.
+
+Every instrumented surface is run twice — without and with an
+:class:`repro.obs.Observability` bundle attached — and the model-level
+results must be identical (compared through
+:func:`repro.sweep.points.sanitize_record`, which canonicalizes NaN so
+``nan != nan`` cannot masquerade as a real difference).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import Observability
+from repro.sweep.points import sanitize_record
+
+
+def _clean(result_dict):
+    result_dict = dict(result_dict)
+    result_dict.pop("obs", None)
+    return sanitize_record(result_dict)
+
+
+def test_worm_level_load_point_unperturbed():
+    from repro.traffic.workloads import SCHEMES_BY_NAME, fig10_setup, run_load_point
+
+    scheme = SCHEMES_BY_NAME["hamiltonian-sf"]
+    kwargs = dict(
+        setup=fig10_setup(),
+        seed=11,
+        warmup_deliveries=30,
+        measure_deliveries=120,
+        max_sim_time=5e6,
+    )
+    plain = run_load_point(scheme, 0.05, **kwargs)
+    obs = Observability()
+    traced = run_load_point(scheme, 0.05, obs=obs, **kwargs)
+
+    assert _clean(dataclasses.asdict(plain)) == _clean(dataclasses.asdict(traced))
+    assert plain.obs is None
+    assert traced.obs is not None and len(traced.obs["metrics"]) > 0
+    assert obs.tracer.recorded > 0
+
+
+@pytest.mark.parametrize("engine", ["active", "dense"])
+def test_fig3_scenario_unperturbed(engine):
+    from repro.core.switch_mcast import SwitchScheme, run_fig3_scenario
+
+    kwargs = dict(mc_delay=0, uc_delay=5, seed=3, engine=engine)
+    plain = run_fig3_scenario(SwitchScheme.S3_IDLE_FLUSH, **kwargs)
+    obs = Observability()
+    traced = run_fig3_scenario(SwitchScheme.S3_IDLE_FLUSH, obs=obs, **kwargs)
+
+    assert dataclasses.asdict(plain) == dataclasses.asdict(traced)
+    assert plain.status == "delivered"
+    assert len(obs.metrics) > 0
+    assert obs.tracer.recorded > 0
+
+
+def test_myrinet_throughput_unperturbed():
+    from repro.myrinet.testbed import run_throughput_experiment
+
+    kwargs = dict(all_send=True, warmup_us=5_000.0, measure_us=30_000.0)
+    plain = run_throughput_experiment(1024, **kwargs)
+    traced = run_throughput_experiment(1024, obs=Observability(), **kwargs)
+
+    assert _clean(dataclasses.asdict(plain)) == _clean(dataclasses.asdict(traced))
+    assert plain.obs is None and traced.obs is not None
+
+
+def test_fault_campaign_unperturbed():
+    from repro.faults.campaign import run_fault_campaign
+
+    kwargs = dict(
+        rows=4,
+        cols=4,
+        load=0.05,
+        group_count=3,
+        group_size=4,
+        link_failures=1,
+        downtime=20_000.0,
+        warmup_time=20_000.0,
+        measure_time=80_000.0,
+        seed=5,
+    )
+    plain = run_fault_campaign(**kwargs)
+    obs = Observability()
+    traced = run_fault_campaign(obs=obs, **kwargs)
+
+    assert _clean(plain) == _clean(traced)
+    assert plain.get("obs") is None and traced["obs"] is not None
+    # The injected link cut must reach the fault hook.
+    fault_events = [
+        e for e in obs.tracer.events() if e.name.startswith("fault.")
+    ]
+    assert fault_events
+
+
+def test_repair_campaign_unperturbed():
+    from repro.faults.campaign import run_repair_campaign
+
+    kwargs = dict(messages=8, drops=2, seed=7, max_sim_time=2e6)
+    plain = run_repair_campaign(**kwargs)
+    traced = run_repair_campaign(obs=Observability(), **kwargs)
+
+    assert _clean(plain) == _clean(traced)
+    assert plain.get("obs") is None and traced["obs"] is not None

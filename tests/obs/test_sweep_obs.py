@@ -1,0 +1,86 @@
+"""Observability through the sweep runner: per-point snapshots + merging."""
+
+import json
+import math
+
+from repro.sweep.runner import records_to_results, run_sweep
+from repro.sweep.spec import SweepSpec
+
+
+def _spec(obs: bool) -> SweepSpec:
+    base = {
+        "topology": "torus",
+        "rows": 4,
+        "cols": 4,
+        "scheme": "hamiltonian-sf",
+        "group_count": 3,
+        "group_size": 4,
+        "warmup_deliveries": 20,
+        "measure_deliveries": 80,
+        "max_sim_time": 3e6,
+    }
+    if obs:
+        base["obs"] = True
+    return SweepSpec(
+        kind="load_point",
+        grid={"load": [0.04, 0.06]},
+        base=base,
+        base_seed=9,
+    )
+
+
+def test_points_embed_obs_snapshots_when_requested():
+    outcome = run_sweep(_spec(obs=True), jobs=1)
+    assert len(outcome.records) == 2
+    for record in outcome.records:
+        snapshot = record["obs"]
+        assert snapshot is not None and len(snapshot["metrics"]) > 0
+        # Metrics-only bundles: no trace ring attached in workers.
+        assert snapshot["trace"] is None
+
+    plain = run_sweep(_spec(obs=False), jobs=1)
+    assert all(r["obs"] is None for r in plain.records)
+    assert plain.merged_obs() is None
+
+
+def test_sequential_and_parallel_sweeps_byte_identical():
+    sequential = run_sweep(_spec(obs=True), jobs=1)
+    parallel = run_sweep(_spec(obs=True), jobs=2)
+    seq_json = json.dumps(sequential.records, sort_keys=True, allow_nan=False)
+    par_json = json.dumps(parallel.records, sort_keys=True, allow_nan=False)
+    assert seq_json == par_json
+
+    merged_seq = sequential.merged_obs()
+    merged_par = parallel.merged_obs()
+    assert merged_seq is not None
+    assert json.dumps(merged_seq, sort_keys=True) == json.dumps(
+        merged_par, sort_keys=True
+    )
+    # The merge spans both points' windows.
+    by_name = {}
+    for entry in merged_seq["metrics"]:
+        if entry["name"] == "worm.latency":
+            by_name.setdefault("lat", entry)
+    per_point = [
+        next(
+            e
+            for e in r["obs"]["metrics"]
+            if e["name"] == "worm.latency"
+        )
+        for r in sequential.records
+    ]
+    assert by_name["lat"]["count"] == sum(e["count"] for e in per_point)
+
+
+def test_records_to_results_preserves_obs_field():
+    outcome = run_sweep(_spec(obs=True), jobs=1)
+    results = records_to_results(outcome.records)
+    for result, record in zip(results, outcome.records):
+        assert result.obs == record["obs"]
+        # NaN restoration must not have touched the obs/extras containers.
+        assert not isinstance(result.obs, float)
+
+    plain = records_to_results(run_sweep(_spec(obs=False), jobs=1).records)
+    for result in plain:
+        assert result.obs is None
+        assert math.isnan(result.ci_half_width) or result.ci_half_width >= 0.0

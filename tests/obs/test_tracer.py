@@ -1,0 +1,137 @@
+"""Tests for the bounded event tracer and its two export formats."""
+
+import json
+
+import pytest
+
+from repro.obs.report import load_chrome, load_jsonl, validate_events
+from repro.obs.tracer import EventTracer, JSONL_KIND, JSONL_VERSION
+
+
+def test_events_in_recording_order():
+    tracer = EventTracer()
+    tracer.begin(1.0, "worm", key=7)
+    tracer.instant(2.0, "head", key=7, host=3)
+    tracer.end(5.0, "worm", key=7)
+    phases = [(e.ph, e.name, e.ts) for e in tracer.events()]
+    assert phases == [("B", "worm", 1.0), ("i", "head", 2.0), ("E", "worm", 5.0)]
+    assert tracer.recorded == 3 and tracer.dropped == 0
+
+
+def test_ring_wrap_drops_oldest_and_counts():
+    tracer = EventTracer(capacity=4)
+    for i in range(10):
+        tracer.instant(float(i), "tick", key=i)
+    assert len(tracer) == 4
+    assert tracer.recorded == 10 and tracer.dropped == 6
+    assert [e.ts for e in tracer.events()] == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        EventTracer(capacity=0)
+
+
+def test_span_durations_matched_by_name_and_key():
+    tracer = EventTracer()
+    tracer.begin(0.0, "worm", key=1)
+    tracer.begin(2.0, "worm", key=2)  # overlapping span, different key
+    tracer.end(10.0, "worm", key=1)
+    tracer.end(3.0 + 10.0, "worm", key=2)
+    tracer.end(99.0, "worm", key=3)  # never begun: ignored
+    assert tracer.span_durations() == {"worm": [10.0, 11.0]}
+
+
+def test_clear_resets_everything():
+    tracer = EventTracer(capacity=2)
+    for i in range(5):
+        tracer.instant(float(i), "x")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.recorded == 0 and tracer.dropped == 0
+    assert tracer.events() == []
+
+
+def test_jsonl_export_roundtrip(tmp_path):
+    tracer = EventTracer()
+    tracer.begin(1.0, "worm", key=4, src=0)
+    tracer.end(6.0, "worm", key=4)
+    path = tmp_path / "trace.jsonl"
+    assert tracer.export_jsonl(path) == 2
+    header, events = load_jsonl(path)
+    assert header["kind"] == JSONL_KIND and header["version"] == JSONL_VERSION
+    assert header["events"] == 2
+    assert header["recorded"] == 2 and header["dropped"] == 0
+    assert events[0] == {"ts": 1.0, "ph": "B", "name": "worm", "key": 4,
+                         "args": {"src": 0}}
+    assert validate_events(events, header=header) == []
+
+
+def test_jsonl_header_counts_wrap(tmp_path):
+    tracer = EventTracer(capacity=3)
+    for i in range(8):
+        tracer.instant(float(i), "tick")
+    path = tmp_path / "trace.jsonl"
+    tracer.export_jsonl(path)
+    header, events = load_jsonl(path)
+    assert header["recorded"] == 8 and header["dropped"] == 5
+    assert len(events) == header["events"] == 3
+
+
+def test_chrome_export_is_valid_and_matched(tmp_path):
+    tracer = EventTracer()
+    tracer.begin(0.0, "worm", key=1)
+    tracer.instant(1.0, "head", key=1, host=2)
+    tracer.begin(2.0, "worm", key=2)
+    tracer.end(4.0, "worm", key=1)
+    tracer.end(5.0, "worm", key=2)
+    path = tmp_path / "trace.chrome.json"
+    assert tracer.export_chrome(path) == 5
+    entries = load_chrome(path)  # raises if not strict JSON
+    assert validate_events(entries) == []
+    ts = [e["ts"] for e in entries]
+    assert ts == sorted(ts)
+    # span key -> tid, so overlapping worms get their own tracks
+    assert {e["tid"] for e in entries if e["name"] == "worm"} == {1, 2}
+    instant = next(e for e in entries if e["ph"] == "i")
+    assert instant["s"] == "t" and instant["args"] == {"host": 2}
+
+
+def test_chrome_export_skips_orphaned_ends(tmp_path):
+    tracer = EventTracer(capacity=2)
+    tracer.begin(0.0, "worm", key=1)
+    tracer.instant(1.0, "head", key=1)
+    tracer.end(2.0, "worm", key=1)  # wraps: the B at ts=0 is overwritten
+    assert tracer.events()[0].ph == "i"
+    path = tmp_path / "trace.chrome.json"
+    assert tracer.export_chrome(path) == 1  # orphaned E dropped
+    entries = load_chrome(path)
+    assert [e["ph"] for e in entries] == ["i"]
+    assert validate_events(entries) == []
+
+
+def test_validate_events_flags_problems():
+    bad = [
+        {"ts": 5.0, "ph": "B", "name": "w", "key": 1},
+        {"ts": 4.0, "ph": "E", "name": "w", "key": 1},  # ts goes backwards
+        {"ts": 6.0, "ph": "E", "name": "w", "key": 1},  # E without open B
+        {"ts": 7.0, "ph": "X", "name": "w", "key": 1},  # unknown phase
+        {"ts": "oops", "ph": "i", "name": "w", "key": 1},  # non-numeric ts
+    ]
+    problems = validate_events(bad, header={"events": 99})
+    text = "\n".join(problems)
+    assert "header says 99" in text
+    assert "goes backwards" in text
+    assert "E without matching B" in text
+    assert "unknown phase" in text
+    assert "non-numeric ts" in text
+
+
+def test_load_jsonl_rejects_foreign_files(tmp_path):
+    path = tmp_path / "not_a_trace.jsonl"
+    path.write_text(json.dumps({"kind": "something-else"}) + "\n")
+    with pytest.raises(ValueError):
+        load_jsonl(path)
+    path.write_text(json.dumps({"kind": JSONL_KIND, "version": 99}) + "\n")
+    with pytest.raises(ValueError):
+        load_jsonl(path)

@@ -164,3 +164,77 @@ def test_batch_means_ci_covers_true_mean():
     samples = [rng.gauss(10.0, 2.0) for _ in range(2000)]
     result = batch_means_ci(samples, batches=20)
     assert abs(result["mean"] - 10.0) < 3 * result["half_width"] + 0.5
+
+
+def test_batch_means_ci_folds_remainder_into_last_batch():
+    # 11 samples, 2 batches: size 5, remainder 1.  The tail sample (the
+    # only non-zero one) must contribute -- dropping it would report 0.
+    samples = [0.0] * 10 + [100.0]
+    result = batch_means_ci(samples, batches=2)
+    assert result["batches"] == 2
+    # batch means: [0]*5 -> 0, [0]*5+[100] -> 100/6; grand mean 100/12
+    assert result["mean"] == pytest.approx(100.0 / 12.0)
+
+
+def test_batch_means_ci_uses_every_sample():
+    samples = list(range(103))  # 103 % 10 == 3 remainder samples
+    result = batch_means_ci(samples, batches=10)
+    assert result["batches"] == 10
+    # Remainder folds into the final batch: batches 0-8 are size 10, the
+    # last is size 13, so the grand mean is the mean of those batch means.
+    means = [sum(samples[b * 10 : b * 10 + 10]) / 10 for b in range(9)]
+    means.append(sum(samples[90:]) / 13)
+    assert result["mean"] == pytest.approx(sum(means) / 10)
+
+
+def test_histogram_edge_rounding_stays_in_range():
+    # (value - low) / width can round *up* to bins exactly at a bin edge:
+    # nextafter(3.3, 0) / (3.3 / 3) computes to 3.0 in floats even though
+    # the value is strictly below high.  It must land in the last real
+    # bin, not the overflow tail.
+    h = Histogram(0.0, 3.3, bins=3)
+    v = math.nextafter(3.3, 0.0)
+    assert v < h.high
+    h.add(v)
+    assert h.counts[-1] == 0, "in-range value misclassified as overflow"
+    assert h.counts[h.bins] == 1
+    assert h.total == 1
+
+
+@given(
+    st.floats(min_value=0.125, max_value=1000.0),
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+)
+def test_histogram_in_range_never_overflows(high, bins, fraction):
+    h = Histogram(0.0, high, bins=bins)
+    value = min(fraction * high, math.nextafter(high, 0.0))
+    h.add(value)
+    assert h.counts[0] == 0
+    assert h.counts[-1] == 0
+
+
+def test_time_weighted_reset_discards_warmup_window():
+    s = TimeWeightedStat(now=0.0, value=2.0)
+    s.update(10.0, 4.0)  # warm-up: 2.0 over [0, 10)
+    s.reset(now=10.0)
+    # The signal value persists across the reset...
+    assert s.value == 4.0
+    # ...but the mean covers only the post-reset window.
+    s.update(20.0, 0.0)
+    assert s.mean(20.0) == pytest.approx(4.0)  # 4.0 over [10, 20)
+    assert s.mean(30.0) == pytest.approx(2.0)  # + 0.0 over [20, 30)
+
+
+def test_time_weighted_reset_rejects_time_travel():
+    s = TimeWeightedStat(now=0.0, value=1.0)
+    s.update(5.0, 2.0)
+    with pytest.raises(ValueError):
+        s.reset(now=4.0)
+
+
+def test_time_weighted_mean_nan_immediately_after_reset():
+    s = TimeWeightedStat(now=0.0, value=1.0)
+    s.update(5.0, 3.0)
+    s.reset(now=5.0)
+    assert math.isnan(s.mean(5.0))
