@@ -11,8 +11,10 @@ Subcommands
     Print per-name event counts and completed-span statistics of a JSONL
     trace (and, optionally, a metrics snapshot overview).
 ``validate``
-    Check a JSONL and/or Chrome trace: strict JSON, monotonic timestamps,
-    every ``E`` matched by an earlier ``B``.
+    Check a JSONL and/or Chrome trace (strict JSON, monotonic timestamps,
+    every ``E`` matched by an earlier ``B``) and/or a metrics snapshot
+    (sorted unique identities, known types, finite values) — the check the
+    CI smoke jobs run over exported artifacts.
 ``hot-channels``
     Rank a per-channel gauge family (default ``link.flits``) from a
     metrics snapshot, hottest first.
@@ -47,6 +49,7 @@ from repro.obs.report import (
     render_latency,
     trace_summary,
     validate_events,
+    validate_metrics,
 )
 
 
@@ -160,8 +163,8 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    if not args.trace and not args.chrome:
-        print("nothing to validate: pass --trace and/or --chrome")
+    if not args.trace and not args.chrome and not args.metrics:
+        print("nothing to validate: pass --trace, --chrome and/or --metrics")
         return 2
     failed = False
     if args.trace:
@@ -173,6 +176,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         entries = load_chrome(args.chrome)
         problems = validate_events(entries)
         _report_validation(args.chrome, len(entries), problems)
+        failed |= bool(problems)
+    if args.metrics:
+        snapshot = load_metrics(args.metrics)
+        problems = validate_metrics(snapshot)
+        _report_validation(
+            args.metrics, len(snapshot.get("metrics", [])), problems
+        )
         failed |= bool(problems)
     return 1 if failed else 0
 
@@ -241,9 +251,12 @@ def build_parser() -> argparse.ArgumentParser:
     summary.add_argument("--metrics", default=None, help="metrics.json path")
     summary.set_defaults(fn=_cmd_summary)
 
-    validate = sub.add_parser("validate", help="check trace invariants")
+    validate = sub.add_parser(
+        "validate", help="check trace/metrics file invariants"
+    )
     validate.add_argument("--trace", default=None, help="trace.jsonl path")
     validate.add_argument("--chrome", default=None, help="trace.chrome.json path")
+    validate.add_argument("--metrics", default=None, help="metrics.json path")
     validate.set_defaults(fn=_cmd_validate)
 
     hot = sub.add_parser("hot-channels", help="rank per-channel gauges")

@@ -107,6 +107,86 @@ def validate_events(
     return problems
 
 
+#: Collector kinds a snapshot may contain, with their required fields.
+_METRIC_FIELDS = {
+    "counter": ("value",),
+    "gauge": ("value",),
+    "tally": ("count", "mean", "m2", "min", "max"),
+    "histogram": ("low", "high", "bins", "counts"),
+    "rate": ("total", "events", "elapsed"),
+    "time_weighted": ("integral", "elapsed", "value"),
+}
+
+
+def validate_metrics(snapshot: Dict[str, Any]) -> List[str]:
+    """Invariant check for a metrics snapshot (empty list == valid).
+
+    Checks the promises :meth:`MetricsRegistry.snapshot` and
+    :func:`merge_snapshots` make: a supported version, entries sorted by
+    ``(name, tags)`` identity with no duplicates, known collector types
+    carrying their required fields, histogram count vectors sized
+    ``bins + 2`` (underflow + bins + overflow), and strict JSON — no NaN
+    or infinity anywhere (``json.load`` happily parses both).
+    """
+    problems: List[str] = []
+    from repro.obs.metrics import SNAPSHOT_VERSION
+
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        problems.append(f"unsupported snapshot version {version!r}")
+    entries = snapshot.get("metrics")
+    if not isinstance(entries, list):
+        problems.append("'metrics' is not a list")
+        return problems
+
+    def bad_float(value: Any) -> bool:
+        return isinstance(value, float) and (
+            value != value or value in (float("inf"), float("-inf"))
+        )
+
+    last_identity = None
+    seen = set()
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"entry {index}: not an object")
+            continue
+        name, tags, kind = entry.get("name"), entry.get("tags"), entry.get("type")
+        if not isinstance(name, str) or not isinstance(tags, dict):
+            problems.append(f"entry {index}: missing name/tags")
+            continue
+        identity = (name, tuple(sorted(tags.items())))
+        if identity in seen:
+            problems.append(f"entry {index}: duplicate metric {identity}")
+        seen.add(identity)
+        if last_identity is not None and identity < last_identity:
+            problems.append(
+                f"entry {index}: out of sorted order ({name}{tags} after "
+                f"{last_identity[0]})"
+            )
+        last_identity = identity
+        fields = _METRIC_FIELDS.get(kind)
+        if fields is None:
+            problems.append(f"entry {index}: unknown type {kind!r}")
+            continue
+        missing = [f for f in fields if f not in entry]
+        if missing:
+            problems.append(f"entry {index} ({name}): missing fields {missing}")
+            continue
+        if kind == "histogram" and len(entry["counts"]) != entry["bins"] + 2:
+            problems.append(
+                f"entry {index} ({name}): counts has {len(entry['counts'])} "
+                f"slots, expected bins+2 = {entry['bins'] + 2}"
+            )
+        for field_name in fields:
+            value = entry.get(field_name)
+            values = value if isinstance(value, list) else [value]
+            if any(bad_float(v) for v in values):
+                problems.append(
+                    f"entry {index} ({name}): non-finite {field_name}"
+                )
+    return problems
+
+
 # -- reports ----------------------------------------------------------------
 def _entries_by_name(snapshot: Dict[str, Any], name: str) -> List[Dict[str, Any]]:
     return [e for e in snapshot.get("metrics", []) if e["name"] == name]

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import uuid
 from pathlib import Path
 from typing import Any, Dict, Optional
 
@@ -61,11 +63,14 @@ class SweepCache:
         path = self._path(self.key(point))
         try:
             payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError):
+            record = payload["record"]
+        except (FileNotFoundError, json.JSONDecodeError, KeyError, TypeError):
+            # A structurally wrong payload (valid JSON but no "record" key,
+            # or not a dict at all) is as much a miss as a corrupt file.
             self.misses += 1
             return None
         self.hits += 1
-        return payload["record"]
+        return record
 
     def put(self, point: SweepPoint, record: Dict[str, Any]) -> None:
         """Store the result record for ``point``."""
@@ -78,7 +83,10 @@ class SweepCache:
             "code": self.code_hash,
             "record": record,
         }
-        tmp = path.with_suffix(".tmp")
+        # Unique per-writer staging name: concurrent processes (sweep pools,
+        # serve workers) writing the same key must not interleave partial
+        # writes in a shared .tmp before the atomic replace.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp")
         tmp.write_text(json.dumps(payload, sort_keys=True, default=repr))
         tmp.replace(path)
 

@@ -81,6 +81,29 @@ def execute_point(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
     return fn(params)
 
 
+@point_kind("nap")
+def _nap(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Sleep-then-echo point: plumbing exerciser, not a simulation.
+
+    Used by the serving layer's tests and benchmarks to occupy a worker for
+    a controlled wall-clock duration (``duration`` seconds) — e.g. to
+    provoke per-job timeouts or fill a queue — while staying fully
+    deterministic in its *output* (the record depends only on the params).
+    """
+    import time as _time
+
+    duration = float(params.get("duration", 0.0))
+    if duration > 0.0:
+        _time.sleep(duration)
+    return sanitize_record(
+        {
+            "napped": duration,
+            "tag": params.get("tag"),
+            "seed": int(params.get("seed", 1)),
+        }
+    )
+
+
 @point_kind("load_point")
 def _load_point(params: Dict[str, Any]) -> Dict[str, Any]:
     """One steady-state (scheme, load) measurement.

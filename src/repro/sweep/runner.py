@@ -25,7 +25,12 @@ def default_jobs() -> int:
     """Worker count: ``REPRO_JOBS`` env override, else the CPU count."""
     env = os.environ.get("REPRO_JOBS")
     if env:
-        return max(1, int(env))
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer worker count, got {env!r}"
+            ) from None
     try:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-linux

@@ -59,6 +59,41 @@ def test_validate_requires_an_input(capsys):
     assert main(["validate"]) == 2
 
 
+def test_validate_accepts_metrics_snapshot(fig3_export, capsys):
+    code = main(["validate", "--metrics", str(fig3_export / "metrics.json")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "OK" in out
+
+
+def test_validate_rejects_broken_metrics(fig3_export, tmp_path, capsys):
+    snapshot = json.loads((fig3_export / "metrics.json").read_text())
+    # Break sorted order and inject a non-finite value.
+    snapshot["metrics"][0], snapshot["metrics"][-1] = (
+        snapshot["metrics"][-1],
+        snapshot["metrics"][0],
+    )
+    bad = tmp_path / "bad_metrics.json"
+    bad.write_text(json.dumps(snapshot))
+    code = main(["validate", "--metrics", str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "INVALID" in out
+
+
+def test_validate_metrics_catches_malformed_histograms(fig3_export, tmp_path):
+    from repro.obs.report import validate_metrics
+
+    snapshot = json.loads((fig3_export / "metrics.json").read_text())
+    assert validate_metrics(snapshot) == []
+    for entry in snapshot["metrics"]:
+        if entry["type"] == "histogram":
+            entry["counts"] = entry["counts"][:-1]
+            break
+    problems = validate_metrics(snapshot)
+    assert problems and "bins+2" in problems[0]
+
+
 def test_summary_renders_counts_and_spans(fig3_export, capsys):
     code = main([
         "summary",

@@ -1,0 +1,58 @@
+"""Wire-format tests: framing, canonical encoding, error shapes."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+
+def test_encode_is_one_canonical_line():
+    line = encode_message({"b": 1, "a": {"z": 2, "y": 3}})
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+    assert line == b'{"a":{"y":3,"z":2},"b":1}\n'
+
+
+def test_encode_rejects_nan():
+    with pytest.raises(ValueError):
+        encode_message({"x": float("nan")})
+
+
+def test_round_trip():
+    message = {"op": "submit", "kind": "nap", "params": {"duration": 0.5}}
+    assert decode_message(encode_message(message)) == message
+
+
+def test_decode_rejects_bad_json():
+    with pytest.raises(ProtocolError, match="invalid JSON"):
+        decode_message(b"{nope\n")
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_message(b"[1, 2]\n")
+
+
+def test_decode_rejects_oversized_line():
+    huge = json.dumps({"x": "a" * (MAX_LINE_BYTES + 1)}).encode()
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decode_message(huge)
+
+
+def test_response_helpers():
+    assert ok_response(job="j")["ok"] is True
+    error = error_response("overloaded", "queue full", queued=5)
+    assert error == {
+        "ok": False,
+        "error": "overloaded",
+        "detail": "queue full",
+        "queued": 5,
+    }

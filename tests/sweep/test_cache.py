@@ -70,6 +70,47 @@ def test_entries_are_sharded_json_files(tmp_path):
     assert payload["code"] == "c"
 
 
+def test_structurally_wrong_entry_is_a_miss(tmp_path):
+    """Valid JSON without a "record" key (or a non-dict payload) is a miss."""
+    spec = SweepSpec(**SMALL_TESTBED)
+    point = spec.points()[0]
+    cache = SweepCache(tmp_path, code_hash="c")
+    cache.put(point, {"x": 1})
+    path = cache._path(cache.key(point))
+    path.write_text('{"kind": "orphaned", "no_record_here": true}')
+    assert cache.get(point) is None
+    path.write_text("[1, 2, 3]")
+    assert cache.get(point) is None
+    path.write_text("42")
+    assert cache.get(point) is None
+    assert cache.hits == 0
+
+
+def test_put_staging_names_are_unique_per_writer(tmp_path, monkeypatch):
+    """Concurrent writers of one key must stage under distinct temp names."""
+    from repro.sweep import cache as cache_mod
+
+    staged = []
+    original = cache_mod.Path.write_text
+
+    def record_write(self, *args, **kwargs):
+        if self.name.endswith(".tmp"):
+            staged.append(self.name)
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(cache_mod.Path, "write_text", record_write)
+    spec = SweepSpec(**SMALL_TESTBED)
+    point = spec.points()[0]
+    cache = SweepCache(tmp_path, code_hash="c")
+    cache.put(point, {"x": 1})
+    cache.put(point, {"x": 2})
+    assert len(staged) == 2
+    assert staged[0] != staged[1]
+    assert cache.get(point) == {"x": 2}
+    # No staging debris survives the atomic replace.
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
 def test_code_fingerprint_is_stable_and_hex():
     first = code_fingerprint()
     assert first == code_fingerprint()

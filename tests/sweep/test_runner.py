@@ -111,6 +111,12 @@ def test_default_jobs_env_override(monkeypatch):
     assert default_jobs() == 1  # clamped
 
 
+def test_default_jobs_malformed_env_names_the_var(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    with pytest.raises(ValueError, match="REPRO_JOBS.*'many'"):
+        default_jobs()
+
+
 def test_append_trajectory_accumulates(tmp_path):
     path = tmp_path / "BENCH_test.json"
     append_trajectory(path, {"label": "a", "wall_time_s": 1.0})
