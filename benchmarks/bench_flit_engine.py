@@ -1,19 +1,26 @@
-"""Dense vs active flit-engine benchmarks.
+"""Dense vs active vs array flit-engine benchmarks.
 
-Two scenarios bracket the active-set engine's envelope:
+Three scenarios bracket the optimized engines' envelope:
 
 * ``sparse_fig3`` -- the Figure 3 deadlock topology under S3 (idle-flush)
   with injection rounds spaced thousands of ticks apart.  The dense
   engine grinds through every idle tick; the active engine deregisters
   quiescent components and fast-forwards the gaps, so it should win big
-  (the acceptance bar is >= 3x).
+  (the acceptance bar is >= 3x).  The array engine has no fast-forward
+  and is expected to roughly track dense here.
 * ``saturated_shufflenet`` -- all 24 hosts of a (2,3) bidirectional
   shufflenet injecting back-to-back worms.  Nothing is ever idle, so the
-  active engine can only lose here; the bar is <= 5% regression.
+  active engine can only lose here (bar: <= 5% regression) while the
+  array engine's vectorized tick should win (~2x on this small fabric).
+* ``saturated_torus`` -- a 16x16 torus with every one of the 256 hosts
+  injecting at once.  The per-tick component count is ~10x the
+  shufflenet's, which is where the array engine's batched tick pulls
+  furthest ahead (~4x over dense).
 
-Both scenarios assert that the two engines return the same status and
-final clock -- a benchmark that drifted semantically would be measuring
-two different simulations.
+All scenarios assert that the engines return the same status and final
+clock -- a benchmark that drifted semantically would be measuring two
+different simulations.  (The full byte-identical timeline diff lives in
+``tests/flitlevel/test_engine_equivalence.py``.)
 
 Run standalone to emit JSON (this is what the CI smoke step and
 ``scripts/bench_trajectory.py`` consume)::
@@ -43,9 +50,16 @@ from repro.core.switch_mcast import (  # noqa: E402
     SwitchScheme,
     build_switch_multicast_network,
 )
-from repro.net import bidirectional_shufflenet  # noqa: E402
+from repro.net import bidirectional_shufflenet, torus  # noqa: E402
 from repro.net.flitlevel import FlitNetwork  # noqa: E402
 from repro.net.topology import fig3_topology  # noqa: E402
+
+try:  # the array engine needs numpy; the others do not
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    HAVE_NUMPY = False
 
 #: Idle gap between injection rounds in the sparse scenario.  One fig3
 #: round resolves in under ~1500 ticks, so most of each gap is quiescent.
@@ -90,9 +104,24 @@ def _saturated_shufflenet(engine: str, rounds: int):
     return status, net.now, net.ticks_executed
 
 
+def _saturated_torus(engine: str, rounds: int):
+    """16x16 torus, all 256 hosts injecting ``rounds`` worms at once."""
+    topo = torus(16, 16)
+    net = FlitNetwork(topo, engine=engine, seed=11)
+    hosts = topo.hosts
+    k = len(hosts)
+    for _ in range(rounds):
+        for i, src in enumerate(hosts):
+            net.send_unicast(src, hosts[(i + 19) % k], payload_bytes=48)
+    status = net.run(max_ticks=400_000)
+    return status, net.now, net.ticks_executed
+
+
+#: name -> (scenario fn, base rounds at scale=1, minimum rounds).
 _SCENARIOS = {
-    "sparse_fig3": (_sparse_fig3, 8),
-    "saturated_shufflenet": (_saturated_shufflenet, 4),
+    "sparse_fig3": (_sparse_fig3, 8, 2),
+    "saturated_shufflenet": (_saturated_shufflenet, 4, 2),
+    "saturated_torus": (_saturated_torus, 1, 1),
 }
 
 
@@ -107,27 +136,45 @@ def _best_of(fn, args, repeats):
 
 
 def run_suite(scale: float = 1.0, repeats: int = 3):
-    """Time both engines on both scenarios; returns a JSON-ready dict."""
+    """Time every engine on every scenario; returns a JSON-ready dict.
+
+    The array engine is included only when numpy is importable; the
+    result dict then carries ``array_seconds``/``speedup_array`` columns
+    next to the historical dense/active ones.
+    """
+    engines = ["dense", "active"] + (["array"] if HAVE_NUMPY else [])
     results = {}
-    for name, (fn, base_rounds) in _SCENARIOS.items():
-        rounds = max(2, int(base_rounds * scale))
-        dense_s, dense_out = _best_of(fn, ("dense", rounds), repeats)
-        active_s, active_out = _best_of(fn, ("active", rounds), repeats)
-        if dense_out[:2] != active_out[:2]:
-            raise AssertionError(
-                f"{name}: engines diverged -- dense={dense_out[:2]} "
-                f"active={active_out[:2]}"
+    for name, (fn, base_rounds, min_rounds) in _SCENARIOS.items():
+        rounds = max(min_rounds, int(base_rounds * scale))
+        timings = {}
+        outcomes = {}
+        for engine in engines:
+            timings[engine], outcomes[engine] = _best_of(
+                fn, (engine, rounds), repeats
             )
-        results[name] = {
+        for engine in engines[1:]:
+            if outcomes[engine][:2] != outcomes["dense"][:2]:
+                raise AssertionError(
+                    f"{name}: engines diverged -- dense="
+                    f"{outcomes['dense'][:2]} {engine}={outcomes[engine][:2]}"
+                )
+        rec = {
             "rounds": rounds,
-            "status": dense_out[0],
-            "final_tick": dense_out[1],
-            "dense_seconds": round(dense_s, 4),
-            "active_seconds": round(active_s, 4),
-            "dense_ticks_executed": dense_out[2],
-            "active_ticks_executed": active_out[2],
-            "speedup": round(dense_s / active_s, 3),
+            "status": outcomes["dense"][0],
+            "final_tick": outcomes["dense"][1],
+            "dense_seconds": round(timings["dense"], 4),
+            "active_seconds": round(timings["active"], 4),
+            "dense_ticks_executed": outcomes["dense"][2],
+            "active_ticks_executed": outcomes["active"][2],
+            "speedup": round(timings["dense"] / timings["active"], 3),
         }
+        if "array" in engines:
+            rec["array_seconds"] = round(timings["array"], 4)
+            rec["array_ticks_executed"] = outcomes["array"][2]
+            rec["speedup_array"] = round(
+                timings["dense"] / timings["array"], 3
+            )
+        results[name] = rec
     return results
 
 
@@ -169,6 +216,27 @@ def test_flit_saturated_active(benchmark):
     _report(benchmark, ticks)
 
 
+def test_flit_saturated_array(benchmark):
+    if not HAVE_NUMPY:
+        import pytest
+
+        pytest.skip("array engine needs numpy")
+    rounds = scaled(4, minimum=1)
+    status, _, ticks = benchmark(_saturated_shufflenet, "array", rounds)
+    assert status == "delivered"
+    _report(benchmark, ticks)
+
+
+def test_flit_torus_array(benchmark):
+    if not HAVE_NUMPY:
+        import pytest
+
+        pytest.skip("array engine needs numpy")
+    status, _, ticks = benchmark(_saturated_torus, "array", 1)
+    assert status == "delivered"
+    _report(benchmark, ticks)
+
+
 def test_sparse_speedup_meets_bar():
     # The acceptance bar is 3x; the measured margin is much larger, so a
     # noisy CI box should still clear it comfortably.
@@ -188,12 +256,17 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     results = run_suite(scale=args.scale, repeats=args.repeats)
     for name, rec in results.items():
-        print(
+        line = (
             f"{name:>22}: dense {rec['dense_seconds']:.3f}s "
             f"({rec['dense_ticks_executed']} ticks) | active "
-            f"{rec['active_seconds']:.3f}s ({rec['active_ticks_executed']} "
-            f"ticks) | speedup {rec['speedup']:.2f}x"
+            f"{rec['active_seconds']:.3f}s ({rec['speedup']:.2f}x)"
         )
+        if "array_seconds" in rec:
+            line += (
+                f" | array {rec['array_seconds']:.3f}s "
+                f"({rec['speedup_array']:.2f}x)"
+            )
+        print(line)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(json.dumps(results, indent=2) + "\n")

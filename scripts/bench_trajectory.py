@@ -1,21 +1,26 @@
 #!/usr/bin/env python
 """Record a perf-trajectory snapshot in ``BENCH_sweep.json``.
 
-Runs the kernel events/sec microbenchmarks plus a reduced Figure 10 sweep
-and appends one machine-readable entry per workload, so the repo carries
-its own performance history from commit to commit::
+Runs the kernel events/sec microbenchmarks (heap and packed simulator
+cores), the flit-engine comparison (dense / active / array), and a
+reduced Figure 10 sweep, appending one machine-readable entry per
+workload so the repo carries its own performance history from commit to
+commit::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--scale 0.5] [--label msg]
 
 Entries land in ``{"entries": [...]}`` (see
 :func:`repro.sweep.runner.append_trajectory`); each has a timestamp, the
-workload label, and either ``events_per_second`` (kernel) or the sweep's
-wall-time/points-per-second footprint.
+workload label, the interpreter/numpy versions, the engine it measured,
+and either ``events_per_second`` (kernel) or the wall-time footprint.
+Re-running at the same code fingerprint with the same label *replaces*
+the matching entries instead of duplicating them.
 """
 
 from __future__ import annotations
 
 import argparse
+import platform
 import statistics
 import sys
 import time
@@ -30,17 +35,31 @@ from bench_kernel_events import (  # noqa: E402
     _timeout_churn,
     _uncontended_grants,
 )
-from bench_flit_engine import run_suite as _flit_suite  # noqa: E402
+from bench_flit_engine import HAVE_NUMPY, run_suite as _flit_suite  # noqa: E402
 
 from repro.sweep import append_trajectory, run_sweep  # noqa: E402
 from repro.sweep.cache import code_fingerprint  # noqa: E402
 from repro.sweep.figures import fig10_spec  # noqa: E402
 
+#: (label, simulator engine, workload thunk).  The packed variants measure
+#: the array-backed event core against the binary-heap baseline on the
+#: identical workload.
 KERNEL_WORKLOADS = [
-    ("kernel_timeout_churn", lambda: _timeout_churn(20, 2000)),
-    ("kernel_uncontended_grants", lambda: _uncontended_grants(8, 5000)),
-    ("kernel_contended_grants", lambda: _contended_grants(50, 10, 400)),
+    ("kernel_timeout_churn", "heap",
+     lambda: _timeout_churn(20, 2000, engine="heap")),
+    ("kernel_uncontended_grants", "heap",
+     lambda: _uncontended_grants(8, 5000, engine="heap")),
+    ("kernel_contended_grants", "heap",
+     lambda: _contended_grants(50, 10, 400, engine="heap")),
+    ("kernel_timeout_churn_packed", "packed",
+     lambda: _timeout_churn(20, 2000, engine="packed")),
+    ("kernel_uncontended_grants_packed", "packed",
+     lambda: _uncontended_grants(8, 5000, engine="packed")),
+    ("kernel_contended_grants_packed", "packed",
+     lambda: _contended_grants(50, 10, 400, engine="packed")),
 ]
+
+_DEDUP = ("code", "label", "note")
 
 
 def _events_per_second(fn, repeats: int = 5) -> tuple:
@@ -52,6 +71,14 @@ def _events_per_second(fn, repeats: int = 5) -> tuple:
         events = fn()
         times.append(time.perf_counter() - start)
     return events, events / min(times), events / statistics.median(times)
+
+
+def _numpy_version():
+    if not HAVE_NUMPY:
+        return None
+    import numpy
+
+    return numpy.__version__
 
 
 def main(argv=None) -> int:
@@ -74,28 +101,47 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--skip-flit", action="store_true",
-        help="skip the dense-vs-active flit engine comparison",
+        help="skip the dense/active/array flit engine comparison",
     )
     args = parser.parse_args(argv)
 
     stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     code = code_fingerprint()[:12]
+    env = {
+        "python_version": platform.python_version(),
+        "numpy_version": _numpy_version(),
+    }
 
-    for name, fn in KERNEL_WORKLOADS:
+    heap_best = {}
+    for name, engine, fn in KERNEL_WORKLOADS:
         events, best, median = _events_per_second(fn)
         entry = {
             "timestamp": stamp,
             "label": name,
             "kind": "kernel_microbench",
+            "engine": engine,
             "events": events,
             "events_per_second": round(best),
             "events_per_second_median": round(median),
             "code": code,
+            **env,
         }
+        if engine == "heap":
+            heap_best[name] = best
+        else:
+            baseline = heap_best.get(name.removesuffix("_packed"))
+            if baseline:
+                entry["speedup_vs_heap"] = round(best / baseline, 3)
         if args.label:
             entry["note"] = args.label
-        append_trajectory(args.out, entry)
-        print(f"{name}: {round(best):,} events/s (median {round(median):,})")
+        append_trajectory(args.out, entry, dedup_on=_DEDUP)
+        extra = (
+            f" ({entry['speedup_vs_heap']:.2f}x vs heap)"
+            if "speedup_vs_heap" in entry
+            else ""
+        )
+        print(f"{name}: {round(best):,} events/s "
+              f"(median {round(median):,}){extra}")
 
     if not args.skip_flit:
         for name, rec in _flit_suite(scale=args.scale, repeats=3).items():
@@ -103,17 +149,24 @@ def main(argv=None) -> int:
                 "timestamp": stamp,
                 "label": f"flit_{name}",
                 "kind": "flit_microbench",
+                "engine": "dense+active" + ("+array" if HAVE_NUMPY else ""),
                 "code": code,
+                **env,
                 **rec,
             }
             if args.label:
                 entry["note"] = args.label
-            append_trajectory(args.out, entry)
-            print(
-                f"flit_{name}: dense {rec['dense_seconds']:.3f}s vs active "
-                f"{rec['active_seconds']:.3f}s ({rec['speedup']:.2f}x, "
-                f"{rec['active_ticks_executed']}/{rec['dense_ticks_executed']} ticks)"
+            append_trajectory(args.out, entry, dedup_on=_DEDUP)
+            line = (
+                f"flit_{name}: dense {rec['dense_seconds']:.3f}s | active "
+                f"{rec['active_seconds']:.3f}s ({rec['speedup']:.2f}x)"
             )
+            if "array_seconds" in rec:
+                line += (
+                    f" | array {rec['array_seconds']:.3f}s "
+                    f"({rec['speedup_array']:.2f}x)"
+                )
+            print(line)
 
     if not args.skip_sweep:
         spec = fig10_spec(loads=[0.04, 0.06, 0.08], scale=args.scale)
@@ -121,9 +174,10 @@ def main(argv=None) -> int:
         entry = outcome.bench_entry(
             label="fig10_sweep", scale=args.scale, code=code
         )
+        entry.update(env)
         if args.label:
             entry["note"] = args.label
-        append_trajectory(args.out, entry)
+        append_trajectory(args.out, entry, dedup_on=_DEDUP)
         print(
             f"fig10_sweep: {len(outcome.records)} points in "
             f"{outcome.wall_time:.2f}s ({outcome.points_per_second:.2f} pts/s, "

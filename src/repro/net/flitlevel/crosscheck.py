@@ -1,7 +1,8 @@
-"""Dense-vs-active engine crosscheck harness.
+"""Cross-engine crosscheck harness.
 
-The active-set engine (:class:`~repro.net.flitlevel.network.FlitNetwork`
-with ``engine="active"``) promises *byte-identical semantics* to the dense
+The active-set and array engines
+(:class:`~repro.net.flitlevel.network.FlitNetwork` with ``engine="active"``
+/ ``engine="array"``) promise *byte-identical semantics* to the dense
 polling loop: the same per-worm delivery ticks, the same retransmission
 counts, the same final run status, across all multicast modes and under
 fault injection.  This module turns that promise into something checkable.
@@ -16,7 +17,8 @@ Usage::
         status = net.run(max_ticks=50_000)
         return net, status
 
-    report = crosscheck(scenario)
+    report = crosscheck(scenario)                          # dense vs active
+    report = crosscheck(scenario, engines=("dense", "array"))
     assert report.ok, report.describe()
 
 Worm ids come from a process-global counter, so the dense and active runs
@@ -92,17 +94,26 @@ def worm_timeline(net, status: str) -> Dict[str, Any]:
 
 
 class CrosscheckReport:
-    """Comparison result of one scenario run under both engines."""
+    """Comparison result of one scenario run under two engines.
+
+    The first engine is the *baseline* (conventionally ``"dense"``), the
+    second the *candidate*; the legacy ``dense``/``active`` attribute and
+    parameter names are retained as aliases for the baseline/candidate
+    timelines regardless of which engines actually ran (``engines`` names
+    them).
+    """
 
     def __init__(self, dense: Dict[str, Any], active: Dict[str, Any],
-                 dense_ticks: int, active_ticks: int) -> None:
-        self.dense = dense
-        self.active = active
+                 dense_ticks: int, active_ticks: int,
+                 engines: Tuple[str, str] = ("dense", "active")) -> None:
+        self.engines = engines
+        self.dense = self.baseline = dense
+        self.active = self.candidate = active
         #: Ticks each engine actually executed -- the active engine may
         #: fast-forward across quiescent gaps, so this is allowed to differ
         #: (it is the point of the optimisation); everything else is not.
-        self.dense_ticks = dense_ticks
-        self.active_ticks = active_ticks
+        self.dense_ticks = self.baseline_ticks = dense_ticks
+        self.active_ticks = self.candidate_ticks = active_ticks
         self.mismatches: List[Tuple[str, Any, Any]] = _diff(dense, active)
 
     @property
@@ -110,15 +121,19 @@ class CrosscheckReport:
         return not self.mismatches
 
     def describe(self) -> str:
+        base, cand = self.engines
         if self.ok:
             return (
                 f"engines agree: status={self.dense['status']!r} "
                 f"now={self.dense['now']} "
-                f"(dense ticked {self.dense_ticks}, active {self.active_ticks})"
+                f"({base} ticked {self.dense_ticks}, "
+                f"{cand} {self.active_ticks})"
             )
-        lines = [f"{len(self.mismatches)} mismatch(es) dense vs active:"]
-        for path, dense_val, active_val in self.mismatches[:20]:
-            lines.append(f"  {path}: dense={dense_val!r} active={active_val!r}")
+        lines = [f"{len(self.mismatches)} mismatch(es) {base} vs {cand}:"]
+        for path, base_val, cand_val in self.mismatches[:20]:
+            lines.append(
+                f"  {path}: {base}={base_val!r} {cand}={cand_val!r}"
+            )
         if len(self.mismatches) > 20:
             lines.append(f"  ... and {len(self.mismatches) - 20} more")
         return "\n".join(lines)
@@ -151,19 +166,93 @@ def _diff(a: Any, b: Any, path: str = "") -> List[Tuple[str, Any, Any]]:
 
 def crosscheck(
     scenario: Callable[[str], Tuple[Any, str]],
+    engines: Tuple[str, str] = ("dense", "active"),
 ) -> CrosscheckReport:
-    """Run ``scenario`` under both engines and compare canonical timelines.
+    """Run ``scenario`` under two engines and compare canonical timelines.
 
     ``scenario(engine)`` must build a fresh :class:`FlitNetwork` with the
     given ``engine=`` keyword, drive it (sends, faults, ``run()``), and
     return ``(net, status)``.  It must be deterministic apart from the
-    engine choice -- fix the seed.
+    engine choice -- fix the seed.  ``engines`` selects the (baseline,
+    candidate) pair; the default reproduces the historical dense-vs-active
+    comparison.
     """
-    dense_net, dense_status = scenario("dense")
-    active_net, active_status = scenario("active")
+    base_net, base_status = scenario(engines[0])
+    cand_net, cand_status = scenario(engines[1])
     return CrosscheckReport(
-        worm_timeline(dense_net, dense_status),
-        worm_timeline(active_net, active_status),
-        dense_ticks=dense_net.ticks_executed,
-        active_ticks=active_net.ticks_executed,
+        worm_timeline(base_net, base_status),
+        worm_timeline(cand_net, cand_status),
+        dense_ticks=base_net.ticks_executed,
+        active_ticks=cand_net.ticks_executed,
+        engines=engines,
     )
+
+
+def _smoke_scenarios():
+    """Two quick scenarios covering both hot paths: a mixed-traffic torus
+    (headers, grants, multicast replication) and a saturated shufflenet
+    (the bulk-streaming fast lane)."""
+    from repro.net.flitlevel.network import FlitNetwork
+    from repro.net.topology import bidirectional_shufflenet, torus
+
+    def mixed(engine):
+        topo = torus(3, 3)
+        net = FlitNetwork(topo, engine=engine, seed=7)
+        hosts = topo.hosts
+        for i, src in enumerate(hosts):
+            net.send_unicast(
+                src, hosts[(i + 3) % len(hosts)],
+                payload_bytes=40 + 8 * (i % 4), start_delay=i * 17,
+            )
+        net.send_multicast(
+            hosts[0], [hosts[2], hosts[5], hosts[7]],
+            payload_bytes=120, start_delay=9,
+        )
+        status = net.run(max_ticks=80_000)
+        return net, status
+
+    def saturated(engine):
+        topo = bidirectional_shufflenet(2, 3)
+        net = FlitNetwork(topo, engine=engine, seed=21)
+        hosts = topo.hosts
+        for i, src in enumerate(hosts):
+            net.send_unicast(src, hosts[(i + 7) % len(hosts)],
+                             payload_bytes=150)
+        status = net.run(max_ticks=60_000)
+        return net, status
+
+    return {"mixed_torus": mixed, "saturated_shufflenet": saturated}
+
+
+def main(argv=None) -> int:
+    """``python -m repro.net.flitlevel.crosscheck --engines dense array``
+
+    Runs the smoke scenarios under the given engine pair and exits
+    non-zero on any timeline mismatch -- the assertion the CI perf-smoke
+    job runs before trusting a benchmark number.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="byte-identical crosscheck between two flit engines"
+    )
+    parser.add_argument(
+        "--engines", nargs=2, default=("dense", "array"),
+        metavar=("BASELINE", "CANDIDATE"),
+        help="engine pair to compare (default: dense array)",
+    )
+    args = parser.parse_args(argv)
+    engines = tuple(args.engines)
+    failed = False
+    for name, scenario in _smoke_scenarios().items():
+        report = crosscheck(scenario, engines=engines)
+        print(("OK   " if report.ok else "FAIL ") + f"{name}: "
+              + report.describe().splitlines()[0])
+        failed |= not report.ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    import sys
+
+    sys.exit(main())

@@ -101,8 +101,12 @@ class FlitNetwork:
         ``"active"`` (default) ticks only components registered in the
         network's active set and fast-forwards the clock across quiescent
         spans; ``"dense"`` is the reference loop that polls every switch
-        and adapter each byte-time.  Both produce byte-identical worm
-        timelines (see :mod:`repro.net.flitlevel.crosscheck`).
+        and adapter each byte-time; ``"array"`` packs wire/slack/port
+        state into numpy arrays and advances all unblocked flits with
+        batched array operations (fastest under saturation; requires
+        numpy; see :mod:`repro.net.flitlevel.array_lane`).  All engines
+        produce byte-identical worm timelines (see
+        :mod:`repro.net.flitlevel.crosscheck`).
     obs:
         Optional :class:`~repro.obs.Observability` bundle; worm-lifecycle
         hooks cost one pointer test each when ``None`` and are purely
@@ -123,7 +127,7 @@ class FlitNetwork:
         engine: str = "active",
         obs=None,
     ) -> None:
-        if engine not in ("active", "dense"):
+        if engine not in ("active", "dense", "array"):
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
         self._engine_active = engine == "active"
@@ -257,6 +261,13 @@ class FlitNetwork:
             if adapter.wire_in is not None and self._engine_active:
                 adapter.wire_in.notify = partial(self._wake_component, adapter)
         self._wake_all()
+        #: Structure-of-arrays fast lane (engine="array" only): adopts the
+        #: object graph just built, so it must be constructed last.
+        self._lane = None
+        if engine == "array":
+            from repro.net.flitlevel.array_lane import ArrayLane
+
+            self._lane = ArrayLane(self)
 
     # -- active-set engine internals ------------------------------------------
     def _wake_component(self, comp) -> None:
@@ -611,7 +622,20 @@ class FlitNetwork:
         """Advance one byte-time; returns True if any flit moved."""
         if self._engine_active:
             return self._tick_active()
+        if self._lane is not None:
+            return self._tick_array()
         return self._tick_dense()
+
+    def _tick_array(self) -> bool:
+        """Array engine: scheduled actions on the object path, then the
+        lane's vectorized phases (see :mod:`repro.net.flitlevel.array_lane`
+        for the phase ordering and its equivalence argument)."""
+        self.ticks_executed += 1
+        self.now = now = self.now + 1
+        actions = self._actions
+        while actions and actions[0][0] <= now:
+            heapq.heappop(actions)[2]()
+        return self._lane.tick(now)
 
     def _tick_dense(self) -> bool:
         """Reference engine: poll every switch and adapter each tick."""

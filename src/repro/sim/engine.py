@@ -61,6 +61,15 @@ class Simulator:
 
     Example
     -------
+    engine:
+        ``"heap"`` (default) for this single-heap engine, or ``"packed"``
+        to construct a :class:`~repro.sim.packed.PackedSimulator` — a
+        byte-compatible core with a timestamp-bucket queue and an inlined
+        dispatch loop that is several times faster on cascade-heavy
+        workloads (see ``benchmarks/bench_kernel_events.py``).
+
+    Example
+    -------
     >>> sim = Simulator()
     >>> def proc():
     ...     yield sim.timeout(5)
@@ -71,11 +80,29 @@ class Simulator:
     (5.0, 'done')
     """
 
+    def __new__(
+        cls,
+        start_time: float = 0.0,
+        trace: Optional[SimTrace] = None,
+        obs: Optional[Any] = None,
+        engine: str = "heap",
+    ) -> "Simulator":
+        if engine not in ("heap", "packed"):
+            raise ValueError(
+                f"unknown simulator engine {engine!r}; choose 'heap' or 'packed'"
+            )
+        if engine == "packed" and cls is Simulator:
+            from repro.sim.packed import PackedSimulator
+
+            cls = PackedSimulator
+        return object.__new__(cls)
+
     def __init__(
         self,
         start_time: float = 0.0,
         trace: Optional[SimTrace] = None,
         obs: Optional[Any] = None,
+        engine: str = "heap",
     ) -> None:
         if trace is None and obs is not None:
             trace = obs.kernel
@@ -100,6 +127,16 @@ class Simulator:
     def trace(self) -> Optional[SimTrace]:
         """The attached profiling trace, if any."""
         return self._trace
+
+    @property
+    def engine(self) -> str:
+        """The active event-core implementation (``"heap"`` or ``"packed"``)."""
+        return "heap"
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queued-but-unprocessed entries."""
+        return len(self._queue)
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -134,6 +171,62 @@ class Simulator:
             self._queue,
             (self._now + delay, self._eid if priority else self._eid - _URGENT_KEY, event),
         )
+
+    def _post(self, event: Any) -> None:
+        """Enqueue an *already triggered* event at the current instant.
+
+        Used by the resource grant cascade: the caller has just verified
+        the event is pending and set its value, so the state checks of
+        :meth:`~repro.sim.events.Event.succeed` would be redundant.
+        """
+        self._eid += 1
+        heappush(self._queue, (self._now, self._eid, event))
+
+    def schedule_many(
+        self,
+        events: Any,
+        delay: float = 0.0,
+        value: Any = None,
+        priority: int = 1,
+    ) -> None:
+        """Trigger and enqueue a batch of pending events at ``now + delay``.
+
+        Semantically ``ev.succeed(value, priority)`` per event at the given
+        offset; the packed engine overrides this to resolve the target
+        bucket once for the whole batch.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        when = self._now + delay
+        queue = self._queue
+        for ev in events:
+            if ev._state:  # not PENDING
+                raise RuntimeError(f"{ev!r} has already been triggered")
+            ev._ok = True
+            ev._value = value
+            ev._state = 1  # TRIGGERED
+            self._eid += 1
+            heappush(
+                queue,
+                (when, self._eid if priority else self._eid - _URGENT_KEY, ev),
+            )
+
+    def pop_ready(self) -> List[Any]:
+        """Advance the clock to the next scheduled instant and return every
+        entry due there (in dispatch order), removing them from the queue.
+
+        The caller takes over dispatch (``entry._process()``).  Returns an
+        empty list when nothing is scheduled.
+        """
+        queue = self._queue
+        if not queue:
+            return []
+        when = queue[0][0]
+        self._now = when
+        ready: List[Any] = []
+        while queue and queue[0][0] == when:
+            ready.append(heappop(queue)[2])
+        return ready
 
     def schedule_call(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn()`` at ``now + delay`` without allocating an Event.

@@ -141,11 +141,15 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__: timeouts are the single most allocated
+        # event type, so the super() dispatch is folded into slot writes.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
+        self._ok = True
         self._state = TRIGGERED
+        self._defused = False
+        self.delay = delay
         sim._schedule(self, delay, NORMAL)
 
 

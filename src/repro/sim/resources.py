@@ -22,9 +22,29 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource") -> None:
-        super().__init__(resource.sim)
+        # Flattened Event.__init__ + request admission: every worm hop
+        # allocates one of these, so the super().__init__ dispatch and the
+        # _do_request indirection are folded into straight-line slot writes.
+        self.sim = resource.sim
+        self._defused = False
         self.resource = resource
-        resource._do_request(self)
+        users = resource.users
+        if len(users) < resource.capacity:
+            users.append(self)
+            # Uncontended grant: no waiter can be subscribed yet (the
+            # request object is still being constructed), so skip the
+            # event-queue round-trip — the requester resumes synchronously
+            # on yield (the _succeed_immediately fast path, inlined).
+            self._value = self
+            self._ok = True
+            self._state = 2  # PROCESSED
+            self.callbacks = None
+        else:
+            self._value = None
+            self._ok = True
+            self._state = 0  # PENDING
+            self.callbacks = []
+            resource.queue.append(self)
 
     def cancel(self) -> None:
         """Withdraw an ungranted request (e.g. on timeout)."""
@@ -63,17 +83,8 @@ class Resource:
             self.users.remove(request)
         except ValueError:
             raise RuntimeError("releasing a request that does not hold the resource")
-        self._grant_next()
-
-    def _do_request(self, request: Request) -> None:
-        if len(self.users) < self.capacity:
-            self.users.append(request)
-            # Uncontended grant: no waiter can be subscribed yet (the request
-            # object is still being constructed), so skip the event-queue
-            # round-trip — the requester resumes synchronously on yield.
-            request._succeed_immediately(request)
-        else:
-            self.queue.append(request)
+        if self.queue:
+            self._grant_next()
 
     def _cancel(self, request: Request) -> None:
         if request in self.users:
@@ -85,12 +96,21 @@ class Resource:
             pass
 
     def _grant_next(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
-            nxt = self.queue.popleft()
-            if nxt.triggered:  # cancelled/failed while queued
+        queue = self.queue
+        users = self.users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            nxt = queue.popleft()
+            if nxt._state:  # triggered: cancelled/failed while queued
                 continue
-            self.users.append(nxt)
-            nxt.succeed(nxt)
+            users.append(nxt)
+            # The contended-grant cascade: succeed() re-checks state we
+            # just verified, so poke the grant straight onto the queue at
+            # the current instant (identical ordering and semantics).
+            nxt._ok = True
+            nxt._value = nxt
+            nxt._state = 1  # TRIGGERED
+            self.sim._post(nxt)
 
 
 class StorePut(Event):

@@ -200,17 +200,31 @@ def records_to_testbed_results(records: List[Dict[str, Any]]) -> list:
     return results
 
 
-def append_trajectory(path: Path, entry: Dict[str, Any]) -> Path:
+def append_trajectory(
+    path: Path, entry: Dict[str, Any], dedup_on: tuple = ()
+) -> Path:
     """Append ``entry`` to the trajectory file at ``path`` (created lazily).
 
     The file holds ``{"entries": [...]}`` so PR-over-PR perf history stays
     one ``json.load`` away.
+
+    ``dedup_on`` names keys (e.g. ``("code", "label", "note")``) on which
+    prior entries are considered duplicates of ``entry``: any existing
+    entry matching on *all* of them is replaced instead of accumulated, so
+    re-running the benchmarks on unchanged code refreshes the numbers
+    rather than bloating the history.
     """
     path = Path(path)
     try:
         data = json.loads(path.read_text())
     except (FileNotFoundError, json.JSONDecodeError):
         data = {"entries": []}
+    if dedup_on:
+        data["entries"] = [
+            old
+            for old in data["entries"]
+            if any(old.get(k) != entry.get(k) for k in dedup_on)
+        ]
     data["entries"].append(entry)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(data, indent=2, sort_keys=True))

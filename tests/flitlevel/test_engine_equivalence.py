@@ -1,11 +1,12 @@
-"""Dense-vs-active engine equivalence: byte-identical semantics.
+"""Cross-engine equivalence: byte-identical semantics.
 
-The active-set engine must reproduce the dense polling loop exactly --
+The active-set and array engines must reproduce the dense polling loop
+exactly --
 same per-worm injection and delivery ticks, same retransmission counts,
 same final status -- across every multicast mode, with and without
 tree-restricted routing, and under link fail/repair.  These tests run
-each scenario under both engines and diff the canonical timelines from
-:mod:`repro.net.flitlevel.crosscheck`.
+each scenario under dense vs each optimized engine and diff the
+canonical timelines from :mod:`repro.net.flitlevel.crosscheck`.
 """
 
 import pytest
@@ -14,6 +15,24 @@ from repro.core.switch_mcast import SwitchScheme, run_fig3_scenario
 from repro.net import bidirectional_shufflenet, line, ring, torus
 from repro.net.flitlevel import FlitNetwork, MulticastMode, crosscheck
 from repro.sweep.points import execute_point
+
+try:
+    import numpy  # noqa: F401
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _HAVE_NUMPY = False
+
+#: Candidate engines checked against the dense baseline.
+CANDIDATES = [
+    "active",
+    pytest.param(
+        "array",
+        marks=pytest.mark.skipif(
+            not _HAVE_NUMPY, reason="array engine needs numpy"
+        ),
+    ),
+]
 
 
 def _fabric_links(topo):
@@ -41,9 +60,10 @@ def _mixed_traffic(net, hosts):
     net.send_broadcast(hosts[6], payload_bytes=48, start_delay=1_200)
 
 
+@pytest.mark.parametrize("candidate", CANDIDATES)
 @pytest.mark.parametrize("mode", list(MulticastMode))
 @pytest.mark.parametrize("restrict", [False, True])
-def test_mixed_traffic_equivalent(mode, restrict):
+def test_mixed_traffic_equivalent(mode, restrict, candidate):
     def scenario(engine):
         topo = torus(3, 3)
         net = FlitNetwork(
@@ -54,22 +74,24 @@ def test_mixed_traffic_equivalent(mode, restrict):
                          raise_on_deadlock=False)
         return net, status
 
-    report = crosscheck(scenario)
+    report = crosscheck(scenario, engines=("dense", candidate))
     assert report.ok, report.describe()
 
 
+@pytest.mark.parametrize("candidate", CANDIDATES)
 @pytest.mark.parametrize("scheme", list(SwitchScheme))
-def test_fig3_scenario_equivalent(scheme):
+def test_fig3_scenario_equivalent(scheme, candidate):
     # mc_delay=0 / uc_delay=5 is the racing-injection offset that
     # deadlocks the base scheme and drives S3 through flush+retransmit.
     outcomes = {
         engine: run_fig3_scenario(scheme, mc_delay=0, uc_delay=5, engine=engine)
-        for engine in ("dense", "active")
+        for engine in ("dense", candidate)
     }
-    assert outcomes["dense"] == outcomes["active"]
+    assert outcomes["dense"] == outcomes[candidate]
 
 
-def test_flush_retransmission_counts_equivalent():
+@pytest.mark.parametrize("candidate", CANDIDATES)
+def test_flush_retransmission_counts_equivalent(candidate):
     # Tight flush threshold + short backoff forces multiple flush cycles;
     # retransmission bookkeeping (new wid, killed set, requeue) must match.
     def scenario(engine):
@@ -89,12 +111,13 @@ def test_flush_retransmission_counts_equivalent():
                          raise_on_deadlock=False)
         return net, status
 
-    report = crosscheck(scenario)
+    report = crosscheck(scenario, engines=("dense", candidate))
     assert report.ok, report.describe()
     assert report.dense["flushes"] == report.active["flushes"]
 
 
-def test_fault_injection_equivalent():
+@pytest.mark.parametrize("candidate", CANDIDATES)
+def test_fault_injection_equivalent(candidate):
     # Scripted fail/repair mid-flight: the expunge path (per-worm site
     # index in the active engine, full component scan in the dense one)
     # must destroy exactly the same worms at the same tick.
@@ -119,13 +142,14 @@ def test_fault_injection_equivalent():
                          raise_on_deadlock=False)
         return net, status
 
-    report = crosscheck(scenario)
+    report = crosscheck(scenario, engines=("dense", candidate))
     assert report.ok, report.describe()
     assert report.dense["worms_lost"] == report.active["worms_lost"]
     assert report.dense["link_faults"] == report.active["link_faults"]
 
 
-def test_host_multicast_equivalent():
+@pytest.mark.parametrize("candidate", CANDIDATES)
+def test_host_multicast_equivalent(candidate):
     def scenario(engine):
         topo = ring(6)
         net = FlitNetwork(topo, engine=engine, seed=3)
@@ -135,7 +159,7 @@ def test_host_multicast_equivalent():
         status = net.run(max_ticks=60_000)
         return net, status
 
-    report = crosscheck(scenario)
+    report = crosscheck(scenario, engines=("dense", candidate))
     assert report.ok, report.describe()
 
 
@@ -152,8 +176,10 @@ def test_quiet_limit_none_times_out_on_both_engines():
     from repro.core.switch_mcast import build_switch_multicast_network
     from repro.net.topology import fig3_topology
 
+    engines = ("dense", "active", "array") if _HAVE_NUMPY else (
+        "dense", "active")
     statuses = {}
-    for engine in ("dense", "active"):
+    for engine in engines:
         # The Figure 3 race wedges the base scheme: with detection
         # disabled the run must grind to max_ticks and report "timeout".
         topology = fig3_topology()
@@ -171,8 +197,8 @@ def test_quiet_limit_none_times_out_on_both_engines():
         statuses[engine] = (
             net.run(max_ticks=15_000, quiet_limit=None), net.now,
         )
-    assert statuses["dense"][0] == statuses["active"][0] == "timeout"
-    assert statuses["dense"] == statuses["active"]
+    assert all(st[0] == "timeout" for st in statuses.values())
+    assert len(set(statuses.values())) == 1
 
 
 def test_active_engine_fast_forwards_sparse_traffic():
@@ -196,21 +222,23 @@ def test_active_engine_fast_forwards_sparse_traffic():
     assert active_ticks < dense_ticks // 10
 
 
-def test_sweep_point_kind_equivalent():
+@pytest.mark.parametrize("candidate", CANDIDATES)
+def test_sweep_point_kind_equivalent(candidate):
     records = {
         engine: execute_point(
             "fig3_offsets",
             {"scheme": "s3_idle_flush", "engine": engine,
              "mc_delays": 3, "uc_delays": 3, "max_ticks": 40_000},
         )
-        for engine in ("dense", "active")
+        for engine in ("dense", candidate)
     }
     dense = {k: v for k, v in records["dense"].items() if k != "engine"}
-    active = {k: v for k, v in records["active"].items() if k != "engine"}
-    assert dense == active
+    cand = {k: v for k, v in records[candidate].items() if k != "engine"}
+    assert dense == cand
 
 
-def test_saturated_shufflenet_equivalent():
+@pytest.mark.parametrize("candidate", CANDIDATES)
+def test_saturated_shufflenet_equivalent(candidate):
     # All-hosts simultaneous load on the 24-node shufflenet: no idle gaps,
     # so the active engine's settle/wake machinery is exercised while the
     # fabric stays saturated.
@@ -224,5 +252,45 @@ def test_saturated_shufflenet_equivalent():
         status = net.run(max_ticks=60_000)
         return net, status
 
-    report = crosscheck(scenario)
+    report = crosscheck(scenario, engines=("dense", candidate))
     assert report.ok, report.describe()
+
+
+@pytest.mark.skipif(not _HAVE_NUMPY, reason="array engine needs numpy")
+def test_array_phase_timer_does_not_perturb():
+    # The array lane feeds repro.obs's phase timer when (and only when)
+    # an Observability is attached; attaching it must not perturb the
+    # simulation, and the timer must see every vector phase.
+    from repro.obs import Observability
+    from repro.net.flitlevel.crosscheck import worm_timeline
+
+    def run(obs):
+        topo = bidirectional_shufflenet(2, 3)
+        net = FlitNetwork(topo, engine="array", seed=21, obs=obs)
+        hosts = topo.hosts
+        for i, src in enumerate(hosts):
+            net.send_unicast(src, hosts[(i + 7) % len(hosts)],
+                             payload_bytes=60)
+        status = net.run(max_ticks=60_000)
+        return net, status
+
+    plain_net, plain_status = run(None)
+    assert plain_net._lane.timer is None  # zero overhead when detached
+
+    obs = Observability()
+    traced_net, traced_status = run(obs)
+    assert traced_net._lane.timer is obs.phases
+
+    plain = worm_timeline(plain_net, plain_status)
+    traced = worm_timeline(traced_net, traced_status)
+    assert plain == traced
+
+    summary = obs.phases.summary()
+    assert summary is not None
+    assert {"deliver", "advance", "contend"} <= set(summary)
+    for rec in summary.values():
+        assert rec["seconds"] >= 0.0
+        assert rec["ticks"] > 0
+    # The snapshot carries the same numbers for export/merge.
+    snap = obs.snapshot(traced_net.now)
+    assert set(snap["phases"]) == set(summary)
