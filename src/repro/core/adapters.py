@@ -846,6 +846,15 @@ class HostAdapter:
 
     # -- forwarding ---------------------------------------------------------------
     def _forward(self, worm: Worm, state: _GroupState, ct_process) -> object:
+        if not self.engine.net.topology.node_alive(self.host) or (
+            self.host not in state.group
+        ):
+            # A crashed host's adapter forwards nothing -- it died with the
+            # host.  Without this guard, a member that receives a worm and
+            # then crashes (and is spliced off the group structure by the
+            # recovery manager) before its forwarding turn would look up its
+            # successor on a circuit it no longer belongs to and raise.
+            return
         if state.scheme == Scheme.REPEATED_UNICAST:
             return  # terminal copies: nothing to retransmit
         if state.scheme == Scheme.HAMILTONIAN:

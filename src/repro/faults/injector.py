@@ -49,8 +49,23 @@ class FaultInjector:
         self._process = None
 
     def start(self):
-        """Launch the replay process (idempotent)."""
+        """Launch the replay process (idempotent).
+
+        Raises :class:`ValueError` if the schedule begins strictly in the
+        past: an event before ``sim.now`` can no longer be applied at its
+        scheduled time, and silently applying it "now" would break the
+        byte-reproducibility contract (the log would disagree with the
+        schedule).  Mirrors the negative-delay guard in
+        :meth:`repro.sim.engine.Simulator._schedule`.
+        """
         if self._process is None:
+            events = self.schedule.events
+            if events and events[0].time < self.sim.now:
+                raise ValueError(
+                    f"fault schedule starts at t={events[0].time}, which is "
+                    f"in the past (sim.now={self.sim.now}); start the "
+                    "injector before its first event"
+                )
             self._process = self.sim.process(self._run(), name="fault-injector")
         return self._process
 

@@ -62,6 +62,13 @@ class FaultEvent:
             raise ValueError(f"fault time must be non-negative, got {self.time}")
         if self.param < 1:
             raise ValueError(f"fault param must be positive, got {self.param}")
+        # Canonicalize field types so serialization is a fixed point:
+        # FaultEvent(5, ...) and FaultEvent(5.0, ...) are the same event and
+        # must produce the same JSON bytes (an int time would render as "5"
+        # on first encode but "5.0" after one round trip).
+        object.__setattr__(self, "time", float(self.time))
+        object.__setattr__(self, "target", int(self.target))
+        object.__setattr__(self, "param", int(self.param))
 
     def canonical(self) -> str:
         """Stable one-line rendering (the event-log vocabulary)."""

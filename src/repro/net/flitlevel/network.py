@@ -787,7 +787,10 @@ class FlitNetwork:
                         )
                     return "deadlock"
             self.tick()
-            if not self._undelivered:
+            if not self._undelivered and not self._actions:
+                # Pending scheduled actions (delayed injections, fault
+                # events scheduled by a driver) keep the run alive even
+                # with nothing currently in flight.
                 return "delivered"
             events = self._progress_events
             if events != last_events or self._actions:

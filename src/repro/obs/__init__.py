@@ -340,6 +340,16 @@ class Observability:
         if self.tracer is not None:
             self.tracer.instant(now, f"fault.{kind}", target=target)
 
+    # -- systematic stress search (repro.stress) ------------------------------
+    def stress_state(self, pruned: bool) -> None:
+        """One search node executed; ``pruned`` if its digest was seen."""
+        result = "pruned" if pruned else "explored"
+        self.metrics.counter("stress.states", result=result).add()
+
+    def stress_violation(self, invariant: str) -> None:
+        """A new (invariant, subject) violation was recorded."""
+        self.metrics.counter("stress.violations", invariant=invariant).add()
+
 
 def merge_snapshots(snapshots) -> Dict[str, Any]:
     """Merge :meth:`Observability.snapshot` bundles, in argument order.

@@ -1,0 +1,49 @@
+"""Systematic worst-case fault/timing search (the STRESS methodology).
+
+Replaces random fault injection with a forward search over scheduled
+fault/timing interleavings on the repo's deterministic simulators,
+following Helmy/Estrin's systematic testing of multicast protocols
+(arXiv cs/0007005, cs/0006029): protocol-phase anchors for injection
+times, state-hash pruning of equivalent interleavings, an invariant
+oracle (eventual delivery to live members, no phantoms, reconvergence
+bounds, no deadlock), and delta-debugged minimal counterexamples
+emitted as replayable canonical-JSON fault schedules.
+
+Entry points:
+
+* :func:`run_search_sharded` -- in-process search (any shard count).
+* :func:`repro.stress.distributed.run_search_distributed` -- same
+  search fanned across a :mod:`repro.serve` pool, byte-identical report.
+* ``python -m repro.stress`` -- ``search`` / ``replay`` / ``scenarios``.
+"""
+
+from repro.stress.counterexample import (
+    counterexample_dict,
+    load_counterexample,
+    replay,
+    save_counterexample,
+)
+from repro.stress.scenarios import SCENARIOS, build_scenario
+from repro.stress.search import (
+    StressConfig,
+    merge_shard_reports,
+    run_search,
+    run_search_sharded,
+)
+from repro.stress.state import Violation, canonical_json, state_digest
+
+__all__ = [
+    "SCENARIOS",
+    "StressConfig",
+    "Violation",
+    "build_scenario",
+    "canonical_json",
+    "counterexample_dict",
+    "load_counterexample",
+    "merge_shard_reports",
+    "replay",
+    "run_search",
+    "run_search_sharded",
+    "save_counterexample",
+    "state_digest",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.stress``."""
+
+import sys
+
+from repro.stress.cli import main
+
+sys.exit(main())

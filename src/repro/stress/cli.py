@@ -1,0 +1,173 @@
+"""``python -m repro.stress`` — systematic fault search from the shell.
+
+Examples
+--------
+Search the default flit-level scenario and write every counterexample
+found under ``out/``::
+
+    python -m repro.stress search --scenario flit_multicast \
+        --depth 2 --budget 200 --out out/
+
+Replay a stored counterexample, verifying the same violation (and the
+same final-state digest) recurs::
+
+    python -m repro.stress replay out/delivery-message-0.json
+
+List scenarios and their fault vocabularies::
+
+    python -m repro.stress scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.stress.counterexample import (
+    counterexample_dict,
+    load_counterexample,
+    render,
+    replay,
+    save_counterexample,
+)
+from repro.stress.scenarios import SCENARIOS, build_scenario
+from repro.stress.search import StressConfig, run_search_sharded
+from repro.stress.state import canonical_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.stress",
+        description="Systematic worst-case fault/timing search "
+        "with replayable minimal counterexamples.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    search = sub.add_parser(
+        "search", help="explore fault schedules against a scenario"
+    )
+    search.add_argument(
+        "--scenario", default="flit_multicast", choices=sorted(SCENARIOS)
+    )
+    search.add_argument(
+        "--params", default=None,
+        help="scenario parameter overrides as a JSON object",
+    )
+    search.add_argument("--depth", type=int, default=2,
+                        help="max faults per schedule")
+    search.add_argument("--budget", type=int, default=200,
+                        help="max schedules executed per shard")
+    search.add_argument("--order", default="dfs", choices=("dfs", "bfs"))
+    search.add_argument("--no-prune", action="store_true",
+                        help="disable state-hash pruning (naive enumeration)")
+    search.add_argument("--no-shrink", action="store_true",
+                        help="keep discovery schedules; skip delta-debugging")
+    search.add_argument("--shards", type=int, default=1,
+                        help="shard count (sequential in process)")
+    search.add_argument("--out", type=Path, default=None,
+                        help="directory for counterexample JSON artifacts")
+    search.add_argument("--report", type=Path, default=None,
+                        help="write the full canonical-JSON report here")
+    search.add_argument(
+        "--expect-violation", action="store_true",
+        help="exit non-zero unless at least one violation was found "
+        "(CI seeded-violation guard)",
+    )
+
+    rep = sub.add_parser(
+        "replay", help="re-run a stored counterexample and verify it"
+    )
+    rep.add_argument("counterexample", type=Path, nargs="+")
+    rep.add_argument("--quiet", action="store_true",
+                     help="suppress per-counterexample detail")
+
+    sub.add_parser("scenarios", help="list scenarios and their vocabularies")
+    return parser
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    params = json.loads(args.params) if args.params else None
+    config = StressConfig(
+        scenario=args.scenario,
+        params=params,
+        depth=args.depth,
+        budget=args.budget,
+        order=args.order,
+        prune=not args.no_prune,
+        shrink=not args.no_shrink,
+        shard_count=args.shards,
+    )
+    report = run_search_sharded(config)
+    print(
+        f"searched {report['explored']} schedules "
+        f"({report['pruned']} pruned, "
+        f"{report['distinct_states']} distinct states"
+        f"{', truncated' if report['truncated'] else ''}): "
+        f"{len(report['violations'])} violation(s)"
+    )
+    for entry in report["violations"]:
+        v = entry["violation"]
+        print(
+            f"  {v['invariant']} on {v['subject']}: {v['detail']} "
+            f"[{entry['schedule_events']} event(s), "
+            f"discovered with {entry['discovery_events']}]"
+        )
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        for entry in report["violations"]:
+            v = entry["violation"]
+            name = f"{v['invariant']}-{v['subject']}.json"
+            path = args.out / name
+            save_counterexample(
+                str(path),
+                counterexample_dict(
+                    args.scenario, report["scenario_params"], entry
+                ),
+            )
+            print(f"  wrote {path}")
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(canonical_json(report) + "\n")
+        print(f"report: {args.report}")
+    if args.expect_violation and not report["violations"]:
+        print("error: expected at least one violation, found none",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.counterexample:
+        counterexample = load_counterexample(str(path))
+        ok, problems, _ = replay(counterexample)
+        status = "ok" if ok else "FAILED"
+        print(f"{path}: {status}")
+        if not args.quiet:
+            print(render(counterexample))
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        failures += 0 if ok else 1
+    return 1 if failures else 0
+
+
+def _cmd_scenarios() -> int:
+    for name in sorted(SCENARIOS):
+        scenario = build_scenario(name)
+        kinds = ", ".join(scenario.params["kinds"])
+        print(f"{name}: kinds [{kinds}]")
+        for key in sorted(scenario.defaults):
+            print(f"    {key} = {scenario.defaults[key]!r}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_scenarios()

@@ -1,0 +1,110 @@
+"""Replayable counterexamples: the search's durable artifacts.
+
+A counterexample file is canonical JSON carrying everything needed to
+re-run a violation from scratch years later: the scenario name and full
+parameters, the violation key, the minimal fault schedule (and the
+discovery schedule it was shrunk from), the expected final-state digest,
+and the human-readable trace.  :func:`replay` rebuilds the scenario,
+re-executes the schedule, and verifies that the *same* violation recurs
+with the *same* digest -- byte-level reproduction, not just "some
+failure happened".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.faults.schedule import FaultSchedule
+from repro.stress.scenarios import build_scenario
+from repro.stress.state import Violation, canonical_json
+
+COUNTEREXAMPLE_FORMAT = "repro.stress.counterexample/v1"
+
+
+def counterexample_dict(
+    scenario_name: str,
+    scenario_params: Mapping[str, Any],
+    entry: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Assemble the standalone artifact for one search-report violation."""
+    return {
+        "format": COUNTEREXAMPLE_FORMAT,
+        "scenario": scenario_name,
+        "params": dict(scenario_params),
+        "violation": dict(entry["violation"]),
+        "discovery": list(entry["discovery"]),
+        "schedule": list(entry["schedule"]),
+        "final_digest": entry["final_digest"],
+        "trace": list(entry["trace"]),
+    }
+
+
+def save_counterexample(path: str, counterexample: Mapping[str, Any]) -> None:
+    """Write the canonical-JSON artifact (stable bytes for stable inputs)."""
+    with open(path, "w") as fh:
+        fh.write(canonical_json(counterexample))
+        fh.write("\n")
+
+
+def load_counterexample(path: str) -> Dict[str, Any]:
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("format") != COUNTEREXAMPLE_FORMAT:
+        raise ValueError(
+            f"{path}: not a stress counterexample "
+            f"(format={data.get('format')!r})"
+        )
+    return data
+
+
+def replay(counterexample: Mapping[str, Any]) -> Tuple[bool, List[str], Any]:
+    """Re-run a counterexample; returns ``(ok, problems, outcome)``.
+
+    ``ok`` is true iff the stored violation key recurs *and* the final
+    state digest matches the stored one.  ``problems`` lists every
+    discrepancy found (empty when ok).
+    """
+    scenario = build_scenario(
+        counterexample["scenario"], counterexample.get("params")
+    )
+    schedule = FaultSchedule.from_json(
+        json.dumps(counterexample["schedule"])
+    )
+    outcome = scenario.execute(schedule)
+    expected = Violation.from_dict(counterexample["violation"])
+    problems: List[str] = []
+    keys = [v.key() for v in outcome.violations]
+    if expected.key() not in keys:
+        problems.append(
+            f"violation {expected.key()} did not recur; observed {keys}"
+        )
+    digest = outcome.final_digest
+    stored = counterexample.get("final_digest")
+    if stored is not None and digest != stored:
+        problems.append(
+            f"final state digest {digest} != stored {stored}"
+        )
+    return (not problems, problems, outcome)
+
+
+def render(counterexample: Mapping[str, Any]) -> str:
+    """Human-readable summary of a counterexample artifact."""
+    v = counterexample["violation"]
+    lines = [
+        f"scenario : {counterexample['scenario']}",
+        f"violation: {v['invariant']} on {v['subject']}",
+        f"  detail : {v['detail']}",
+        f"schedule : {len(counterexample['schedule'])} event(s) "
+        f"(discovered with {len(counterexample['discovery'])})",
+    ]
+    for ev in counterexample["schedule"]:
+        lines.append(
+            f"  t={ev['time']:<10g} {ev['kind']} target={ev['target']} "
+            f"param={ev['param']}"
+        )
+    trace = counterexample.get("trace") or ()
+    if trace:
+        lines.append("trace:")
+        lines.extend(f"  {line}" for line in trace)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Distributed stress search: serve workers as model-checking shards.
+
+Each shard of a :class:`~repro.stress.search.StressConfig` is one
+``stress_search`` job (a registered sweep point kind, hence a serve job
+kind); the scheduler fans them across its process pool, and the shard
+records come back as plain JSON dicts -- exactly what
+:func:`~repro.stress.search.run_search` returns in process.  Merging
+goes through the same :func:`~repro.stress.search.merge_shard_reports`,
+so for a given config the distributed report is byte-identical to
+:func:`~repro.stress.search.run_search_sharded`'s (asserted in
+``tests/stress/test_distributed.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.stress.search import StressConfig, merge_shard_reports
+
+
+def run_search_distributed(
+    config: StressConfig,
+    client,
+    timeout: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Fan the search's shards across a serve pool and merge the reports.
+
+    ``client`` is a connected :class:`repro.serve.ServeClient`.  Shards
+    are submitted up front (so the pool works them concurrently) and
+    collected in shard order.
+    """
+    base = config.to_dict()
+    submitted = [
+        client.submit(
+            "stress_search", params={**base, "shard_index": i}
+        )["job"]
+        for i in range(config.shard_count)
+    ]
+    reports = [
+        client.result(job, wait=True, timeout=timeout)["record"]
+        for job in submitted
+    ]
+    return merge_shard_reports(reports)

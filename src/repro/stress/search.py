@@ -1,0 +1,293 @@
+"""The systematic fault/timing search driver.
+
+Forward search over *scheduled event times*: starting from the fault-free
+baseline, the driver extends partial fault schedules one event at a time,
+drawing injection times from the scenario's protocol-phase anchors (plus
+phase-relative extension times derived from already-injected events) and
+event types from its fault vocabulary.  Each node -- one complete
+schedule -- is executed from scratch on the deterministic simulator, so
+a node's outcome depends only on its schedule, never on search order.
+
+Pruning: a node's *frontier digest* summarizes protocol state at its
+last fault.  Extensions only add events at later times, so two nodes
+with equal digests have equivalent futures; only the first is expanded
+(see :mod:`repro.stress.state`).  Violating nodes are recorded and never
+expanded (the violation is the point), then shrunk to minimal
+counterexamples via :mod:`repro.stress.shrink`.
+
+Sharding: depth-1 root events are dealt round-robin across
+``shard_count`` shards; each shard explores its roots' full subtrees
+under its own budget.  The in-process entry point
+(:func:`run_search_sharded`) runs shards sequentially and merges with
+:func:`merge_shard_reports` -- the *same* merge the serve-distributed
+path uses -- so both paths produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.stress.scenarios import build_scenario
+from repro.stress.shrink import shrink_counterexample
+from repro.stress.state import Violation
+
+REPORT_FORMAT = "repro.stress.report/v1"
+
+
+@dataclass(frozen=True)
+class StressConfig:
+    """Everything that determines a search (and hence its report bytes)."""
+
+    scenario: str
+    params: Optional[Mapping[str, Any]] = None
+    depth: int = 2
+    budget: int = 400
+    order: str = "dfs"  # dfs | bfs
+    prune: bool = True
+    shrink: bool = True
+    narrow: bool = True
+    max_counterexamples: int = 16
+    shard_index: int = 0
+    shard_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.order not in ("dfs", "bfs"):
+            raise ValueError(f"order must be 'dfs' or 'bfs', got {self.order!r}")
+        if self.depth < 1:
+            raise ValueError(f"depth must be >= 1, got {self.depth}")
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise ValueError(
+                f"shard_index {self.shard_index} outside [0, {self.shard_count})"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        # Params go through a canonical-JSON round trip so the in-process
+        # and serve-distributed paths (whose params cross an HTTP/JSON
+        # boundary) echo byte-identical structures in their reports.
+        import json
+
+        from repro.stress.state import canonical_json
+
+        return {
+            "scenario": self.scenario,
+            "params": json.loads(canonical_json(dict(self.params)))
+            if self.params
+            else {},
+            "depth": self.depth,
+            "budget": self.budget,
+            "order": self.order,
+            "prune": self.prune,
+            "shrink": self.shrink,
+            "narrow": self.narrow,
+            "max_counterexamples": self.max_counterexamples,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StressConfig":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+@dataclass
+class _Node:
+    events: Tuple[FaultEvent, ...]
+    extra_times: Tuple[float, ...] = ()
+
+    @property
+    def last_time(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+
+def _events_json(events: Sequence[FaultEvent]) -> List[Dict[str, Any]]:
+    return [ev.to_dict() for ev in FaultSchedule(events).events]
+
+
+def run_search(config: StressConfig, obs=None) -> Dict[str, Any]:
+    """Explore one shard of the search space; returns the shard report."""
+    scenario = build_scenario(config.scenario, config.params)
+    probe = scenario.probe()
+    anchors = probe.anchors
+    candidates = probe.candidates
+
+    # Depth-1 roots, in deterministic (time, vocabulary) order, dealt
+    # round-robin to shards.
+    roots: List[_Node] = []
+    for i, (t, cand) in enumerate(
+        (t, cand) for t in anchors for cand in candidates
+    ):
+        if i % config.shard_count != config.shard_index:
+            continue
+        event = FaultEvent(t, cand.kind, cand.target, cand.param)
+        roots.append(
+            _Node((event,), tuple(scenario.extension_times(event)))
+        )
+
+    # DFS pops from the right: reverse so the earliest root is explored
+    # first (BFS pops from the left and keeps the natural order).
+    frontier: deque = deque(
+        reversed(roots) if config.order == "dfs" else roots
+    )
+    seen = {probe.baseline.frontier_digest}
+    explored = 0
+    pruned = 0
+    truncated = False
+    found: Dict[Tuple[str, str], Dict[str, Any]] = {}
+
+    while frontier:
+        if explored >= config.budget:
+            truncated = True
+            break
+        node = frontier.popleft() if config.order == "bfs" else frontier.pop()
+        outcome = scenario.execute(FaultSchedule(node.events))
+        explored += 1
+        if outcome.violations:
+            if obs is not None:
+                obs.stress_state(False)
+            for violation in outcome.violations:
+                if violation.key() in found:
+                    continue
+                if obs is not None:
+                    obs.stress_violation(violation.invariant)
+                found[violation.key()] = {
+                    "violation": violation,
+                    "discovery": list(node.events),
+                    "trace": list(outcome.trace),
+                }
+            continue  # violating nodes are not expanded
+        digest = outcome.frontier_digest
+        if config.prune and digest in seen:
+            pruned += 1
+            if obs is not None:
+                obs.stress_state(True)
+            continue
+        seen.add(digest)
+        if obs is not None:
+            obs.stress_state(False)
+        if len(node.events) >= config.depth:
+            continue
+        children: List[_Node] = []
+        times = sorted(
+            {t for t in anchors if t >= node.last_time}
+            | {t for t in node.extra_times if t >= node.last_time}
+        )
+        for t in times:
+            for cand in candidates:
+                event = FaultEvent(t, cand.kind, cand.target, cand.param)
+                children.append(
+                    _Node(
+                        node.events + (event,),
+                        node.extra_times
+                        + tuple(scenario.extension_times(event)),
+                    )
+                )
+        if config.order == "bfs":
+            frontier.extend(children)
+        else:
+            # Reversed so the earliest candidate is popped first.
+            frontier.extend(reversed(children))
+    shrink_runs = 0
+    counterexamples: List[Dict[str, Any]] = []
+    for key in sorted(found):
+        entry = found[key]
+        discovery = entry["discovery"]
+        minimal = list(discovery)
+        if config.shrink and len(counterexamples) < config.max_counterexamples:
+            minimal, runs = shrink_counterexample(
+                scenario,
+                discovery,
+                key,
+                anchors,
+                narrow=config.narrow,
+            )
+            shrink_runs += runs
+        replay = scenario.execute(FaultSchedule(minimal))
+        violation: Violation = entry["violation"]
+        counterexamples.append(
+            {
+                "violation": violation.to_dict(),
+                "discovery": _events_json(discovery),
+                "discovery_events": len(discovery),
+                "schedule": _events_json(minimal),
+                "schedule_events": len(minimal),
+                "final_digest": replay.final_digest,
+                "trace": list(replay.trace),
+            }
+        )
+
+    return {
+        "format": REPORT_FORMAT,
+        "config": config.to_dict(),
+        "scenario_params": scenario.canonical_params(),
+        "anchors": [float(t) for t in anchors],
+        "candidates": [[c.kind, c.target, c.param] for c in candidates],
+        "baseline_digest": probe.baseline.final_digest,
+        "explored": explored,
+        "pruned": pruned,
+        "distinct_states": len(seen),
+        "truncated": truncated,
+        "shrink_runs": shrink_runs,
+        "violations": counterexamples,
+    }
+
+
+def merge_shard_reports(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Deterministically merge shard reports into the final report.
+
+    Counters add; violations deduplicate by (invariant, subject) key,
+    keeping the entry from the lowest shard index, and sort by key.  The
+    in-process and serve-distributed paths both finish here, which is
+    what makes their reports byte-identical.
+    """
+    if not reports:
+        raise ValueError("no shard reports to merge")
+    ordered = sorted(reports, key=lambda r: r["config"]["shard_index"])
+    base = ordered[0]
+    merged_violations: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for report in ordered:
+        if report["format"] != REPORT_FORMAT:
+            raise ValueError(f"unexpected report format {report['format']!r}")
+        for entry in report["violations"]:
+            key = (entry["violation"]["invariant"], entry["violation"]["subject"])
+            if key not in merged_violations:
+                merged_violations[key] = entry
+    config = dict(base["config"])
+    config.pop("shard_index")
+    return {
+        "format": REPORT_FORMAT,
+        "config": config,
+        "scenario_params": base["scenario_params"],
+        "anchors": base["anchors"],
+        "candidates": base["candidates"],
+        "baseline_digest": base["baseline_digest"],
+        "explored": sum(r["explored"] for r in ordered),
+        "pruned": sum(r["pruned"] for r in ordered),
+        "distinct_states": sum(r["distinct_states"] for r in ordered),
+        "truncated": any(r["truncated"] for r in ordered),
+        "shrink_runs": sum(r["shrink_runs"] for r in ordered),
+        "shards": len(ordered),
+        "violations": [
+            merged_violations[key] for key in sorted(merged_violations)
+        ],
+    }
+
+
+def run_search_sharded(config: StressConfig, obs=None) -> Dict[str, Any]:
+    """In-process search: run every shard sequentially, then merge.
+
+    With ``shard_count == 1`` this is plain single-process search; with
+    more shards it is the local twin of the serve-distributed path.
+    """
+    reports = [
+        run_search(
+            StressConfig(**{**config.to_dict(), "shard_index": i}), obs=obs
+        )
+        for i in range(config.shard_count)
+    ]
+    return merge_shard_reports(reports)

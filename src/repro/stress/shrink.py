@@ -1,0 +1,117 @@
+"""Counterexample minimization: delta-debugging + backward time narrowing.
+
+A discovery schedule often carries events that merely *changed state*
+along the search path without contributing to the violation.  ``ddmin``
+[Zeller/Hildebrandt] strips them: it is the classic divide-and-conquer
+minimization over the event list, with the oracle "does this subset
+still reproduce the same violation key?".  ``narrow_times`` then walks
+each surviving event backward through the anchor list to the earliest
+injection time that still reproduces -- the backward half of the
+forward-backward search of arXiv cs/0007005, which anchors the
+counterexample to the earliest protocol phase that matters.
+
+Both are deterministic: subset order and probe order are fixed, so the
+same discovery schedule always shrinks to the same minimal schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+
+def ddmin(
+    events: Sequence[FaultEvent],
+    reproduces: Callable[[Sequence[FaultEvent]], bool],
+) -> Tuple[List[FaultEvent], int]:
+    """Minimize ``events`` to a 1-minimal subsequence still reproducing.
+
+    Returns ``(minimal_events, probe_runs)``.  ``reproduces`` must be
+    deterministic and true for ``events`` itself.  1-minimal means
+    removing any single remaining event breaks reproduction.
+    """
+    current = list(events)
+    runs = 0
+    if len(current) <= 1:
+        return current, runs
+    granularity = 2
+    while len(current) >= 2:
+        size = len(current) // granularity
+        chunks = [
+            current[i : i + size] for i in range(0, len(current), size)
+        ]
+        reduced = False
+        # Try each complement (drop one chunk) in deterministic order.
+        for i in range(len(chunks)):
+            candidate = [ev for j, chunk in enumerate(chunks) if j != i for ev in chunk]
+            if not candidate:
+                continue
+            runs += 1
+            if reproduces(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(granularity * 2, len(current))
+    return current, runs
+
+
+def narrow_times(
+    events: Sequence[FaultEvent],
+    anchors: Sequence[float],
+    reproduces: Callable[[Sequence[FaultEvent]], bool],
+) -> Tuple[List[FaultEvent], int]:
+    """Move each event to the earliest anchor that still reproduces.
+
+    Events are visited in order; each is re-timed independently against
+    the ascending anchor list (times strictly before the event's current
+    time).  Returns ``(narrowed_events, probe_runs)``.
+    """
+    current = list(events)
+    runs = 0
+    for idx in range(len(current)):
+        original = current[idx]
+        for t in sorted(anchors):
+            if t >= original.time:
+                break
+            candidate = list(current)
+            candidate[idx] = FaultEvent(
+                t, original.kind, original.target, original.param
+            )
+            # Re-sorting is FaultSchedule's job; pass events as-is.
+            runs += 1
+            if reproduces(candidate):
+                current = candidate
+                break
+    return current, runs
+
+
+def shrink_counterexample(
+    scenario,
+    discovery: Sequence[FaultEvent],
+    violation_key: Tuple[str, str],
+    anchors: Sequence[float],
+    narrow: bool = True,
+) -> Tuple[List[FaultEvent], int]:
+    """Full shrink pipeline for one violation: ddmin, then time narrowing.
+
+    ``scenario`` is a :class:`~repro.stress.scenarios.StressScenario`;
+    the oracle re-executes it and checks that the same
+    ``(invariant, subject)`` key is still violated.
+    """
+    runs = 0
+
+    def reproduces(events: Sequence[FaultEvent]) -> bool:
+        outcome = scenario.execute(FaultSchedule(events))
+        return any(v.key() == tuple(violation_key) for v in outcome.violations)
+
+    minimal, n = ddmin(discovery, reproduces)
+    runs += n
+    if narrow:
+        minimal, n = narrow_times(minimal, anchors, reproduces)
+        runs += n
+    return minimal, runs

@@ -1,0 +1,73 @@
+"""Canonical state digests: the pruning key of the systematic search.
+
+A scenario summarizes its protocol state -- topology liveness, group and
+delivery state, in-flight worms, recovery-plane progress -- as a plain
+JSON-safe dict, and :func:`state_digest` collapses that dict into a short
+stable hash.  Two partial fault schedules whose digests collide (same
+last-fault time, same summarized state) have identical futures under any
+common suffix of faults, so the search explores extensions of only the
+first -- the state-hashing reduction of the STRESS methodology
+(arXiv cs/0006029).
+
+Digests must never include process-dependent values: worm and message ids
+come from module-global counters, so scenarios key everything by per-run
+*ordinals* (injection order).  That is what makes a search report
+byte-identical across runs, processes, and the serve-distributed path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+
+def canonical_json(obj: Any) -> str:
+    """Stable key order, no whitespace, strict JSON (NaN rejected)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def state_digest(state: Mapping[str, Any]) -> str:
+    """A short stable hash of a canonical state dict."""
+    raw = canonical_json(state).encode()
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation observed at the end of a scenario run.
+
+    ``invariant`` names the broken oracle (``delivery``, ``phantom``,
+    ``deadlock``, ``reconvergence``, ``partition``, ``deadlock_free``);
+    ``subject`` pins the violation to a stable per-run entity (a message
+    ordinal, a routing table, the network) so the same protocol bug found
+    through different fault schedules deduplicates; ``detail`` is the
+    human-readable specifics.
+    """
+
+    invariant: str
+    subject: str
+    detail: str
+
+    def key(self) -> Tuple[str, str]:
+        """Identity used for dedup and for "same violation" replay checks."""
+        return (self.invariant, self.subject)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "invariant": self.invariant,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Violation":
+        return cls(
+            invariant=str(data["invariant"]),
+            subject=str(data["subject"]),
+            detail=str(data["detail"]),
+        )
+
+    def sort_key(self) -> Tuple[str, str, str]:
+        return (self.invariant, self.subject, self.detail)

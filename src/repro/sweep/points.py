@@ -266,3 +266,23 @@ def _fig3_offsets(params: Dict[str, Any]) -> Dict[str, Any]:
             "statuses": [o.status for o in outcomes],
         }
     )
+
+
+@point_kind("stress_search")
+def _stress_search(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One shard of a systematic stress search (see :mod:`repro.stress`).
+
+    ``params`` is a :class:`~repro.stress.search.StressConfig` as a dict
+    (``scenario``, ``depth``, ``budget``, ``shard_index``/``shard_count``,
+    ...).  Registering this as a point kind makes every serve worker a
+    model-checking shard: :func:`repro.stress.distributed.run_search_distributed`
+    fans the shards across the pool and merges the records with the same
+    function the in-process path uses, so the merged report is
+    byte-identical either way.  The sweep layer's injected top-level
+    ``seed`` is ignored -- a search is already fully determined by its
+    config.
+    """
+    from repro.stress.search import StressConfig, run_search
+
+    config = StressConfig.from_dict(params)
+    return sanitize_record(run_search(config))

@@ -156,3 +156,29 @@ def test_campaign_on_torus_smoke():
     injector.start()
     sim.run(until=10.0)
     assert link_id in topo.dead_links
+
+
+def test_start_rejects_events_in_the_past():
+    """Regression: starting an injector whose first event predates the
+    simulator clock used to silently drop the event (the scheduler
+    refuses past timestamps), yielding a run where the schedule claims a
+    fault happened but the network never saw it.  Now it's a loud error.
+    """
+    sim, topo, net, hosts = _line_net()
+    sim.run(until=50.0)
+    injector = FaultInjector(
+        sim, net, FaultSchedule([FaultEvent(10.0, "node_fail", hosts[0])])
+    )
+    with pytest.raises(ValueError, match="past"):
+        injector.start()
+
+
+def test_start_accepts_events_at_or_after_now():
+    sim, topo, net, hosts = _line_net()
+    sim.run(until=50.0)
+    injector = FaultInjector(
+        sim, net, FaultSchedule([FaultEvent(50.0, "node_fail", hosts[0])])
+    )
+    injector.start()
+    sim.run(until=60.0)
+    assert hosts[0] in topo.dead_nodes

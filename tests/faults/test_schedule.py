@@ -90,3 +90,35 @@ def test_zero_mttr_means_permanent_failures():
         stream, duration=1e7, link_ids=[0], link_mttf=1e5, link_mttr=0.0
     )
     assert [ev.kind for ev in schedule] == ["link_fail"]
+
+
+def test_serialization_is_a_fixed_point():
+    """Round-trip hardening: encode(decode(encode(s))) == encode(s).
+
+    Regression for the int/float canonicalization bug: an event built
+    with ``time=5`` (int) used to serialize as ``"time": 5`` on first
+    encode but ``"time": 5.0`` after one round trip, so the "same"
+    schedule produced different bytes depending on how many times it
+    had crossed the wire.  ``__post_init__`` now canonicalizes field
+    types, making serialization idempotent from the first encode.
+    """
+    schedule = FaultSchedule(
+        [
+            FaultEvent(5, "link_fail", 2),
+            FaultEvent(7.5, "worm_drop", -1, param=True),
+            FaultEvent(9.0, "node_fail", 4),
+        ]
+    )
+    once = schedule.to_json()
+    twice = FaultSchedule.from_json(once).to_json()
+    assert once == twice
+    thrice = FaultSchedule.from_json(twice).to_json()
+    assert twice == thrice
+
+
+def test_event_fields_canonicalized_to_float_time_int_target():
+    event = FaultEvent(5, "link_fail", True, param=True)
+    assert isinstance(event.time, float) and event.time == 5.0
+    assert type(event.target) is int and event.target == 1
+    assert type(event.param) is int and event.param == 1
+    assert event == FaultEvent(5.0, "link_fail", 1, param=1)

@@ -1,0 +1,46 @@
+"""Distributed stress search: the serve pool as a model checker.
+
+Acceptance property: the merged report from shards fanned across a
+:mod:`repro.serve` worker pool is byte-identical to the same config run
+sharded in process.
+"""
+
+import pytest
+
+from repro.serve import ServeClient, ServeConfig, ServerThread
+from repro.stress import StressConfig, canonical_json, run_search_sharded
+from repro.stress.distributed import run_search_distributed
+
+CONFIG = StressConfig(
+    scenario="worm_recovery",
+    params=dict(
+        plan=[[0, 10.0]],
+        horizon=4000.0,
+        kinds=["node_fail", "node_repair"],
+        node_targets=[10, 11, 12],
+    ),
+    depth=2,
+    budget=40,
+    shard_count=3,
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(ServeConfig(workers=2, job_timeout=120.0)) as thread:
+        yield thread
+
+
+@pytest.fixture()
+def client(server):
+    c = ServeClient(server.host, server.port)
+    yield c
+    c.close()
+
+
+def test_distributed_report_byte_identical_to_in_process(client):
+    local = run_search_sharded(CONFIG)
+    remote = run_search_distributed(CONFIG, client, timeout=120.0)
+    assert canonical_json(remote) == canonical_json(local)
+    assert remote["shards"] == 3
+    assert remote["violations"], "seeded violation must survive sharding"

@@ -1,0 +1,82 @@
+"""Regression tests around the pinned counterexample artifact and the
+replay verifier / CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.stress import (
+    canonical_json,
+    load_counterexample,
+    replay,
+    save_counterexample,
+)
+from repro.stress.cli import main
+
+PINNED = Path(__file__).parent / "data" / "flit_delivery_message0.json"
+
+
+def test_pinned_counterexample_replays():
+    # The known-good artifact: a single scheme-3 mid-worm link kill that
+    # partially delivers message 0.  If a simulator change breaks this,
+    # the stored digest/violation stops reproducing and this test fails.
+    counterexample = load_counterexample(str(PINNED))
+    ok, problems, outcome = replay(counterexample)
+    assert ok, problems
+    assert outcome.final_digest == counterexample["final_digest"]
+
+
+def test_pinned_artifact_is_canonical_bytes():
+    counterexample = load_counterexample(str(PINNED))
+    assert PINNED.read_text() == canonical_json(counterexample) + "\n"
+
+
+def test_save_load_round_trip(tmp_path):
+    counterexample = load_counterexample(str(PINNED))
+    path = tmp_path / "copy.json"
+    save_counterexample(str(path), counterexample)
+    assert load_counterexample(str(path)) == counterexample
+    assert path.read_text() == PINNED.read_text()
+
+
+def test_replay_detects_digest_tamper():
+    counterexample = load_counterexample(str(PINNED))
+    counterexample["final_digest"] = "0" * 16
+    ok, problems, _ = replay(counterexample)
+    assert not ok
+    assert any("digest" in p for p in problems)
+
+
+def test_replay_detects_wrong_violation():
+    counterexample = load_counterexample(str(PINNED))
+    counterexample["violation"]["subject"] = "message-99"
+    ok, problems, _ = replay(counterexample)
+    assert not ok
+    assert any("did not recur" in p for p in problems)
+
+
+def test_load_rejects_foreign_format(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"format": "something/else"}))
+    with pytest.raises(ValueError, match="not a stress counterexample"):
+        load_counterexample(str(path))
+
+
+def test_cli_replay_exit_codes(tmp_path, capsys):
+    assert main(["replay", str(PINNED), "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out
+
+    tampered = load_counterexample(str(PINNED))
+    tampered["final_digest"] = "0" * 16
+    bad = tmp_path / "tampered.json"
+    save_counterexample(str(bad), tampered)
+    assert main(["replay", str(bad), "--quiet"]) == 1
+
+
+def test_cli_scenarios_lists_both(capsys):
+    assert main(["scenarios"]) == 0
+    out = capsys.readouterr().out
+    assert "flit_multicast" in out
+    assert "worm_recovery" in out

@@ -1,0 +1,91 @@
+"""Unit tests for ddmin delta-debugging and backward time-narrowing."""
+
+from repro.faults import FaultEvent
+from repro.stress.shrink import ddmin, narrow_times
+
+
+def _events(n, kind="link_fail"):
+    return [FaultEvent(float(t + 1), kind, t) for t in range(n)]
+
+
+def test_ddmin_isolates_single_culprit():
+    events = _events(8)
+    culprit = events[5]
+
+    def reproduces(subset):
+        return culprit in subset
+
+    minimal, runs = ddmin(events, reproduces)
+    assert minimal == [culprit]
+    assert runs > 0
+
+
+def test_ddmin_keeps_interacting_pair():
+    events = _events(6)
+    pair = {events[1], events[4]}
+
+    def reproduces(subset):
+        return pair <= set(subset)
+
+    minimal, _ = ddmin(events, reproduces)
+    assert set(minimal) == pair
+
+
+def test_ddmin_result_is_one_minimal():
+    events = _events(5)
+    need = {events[0], events[2], events[3]}
+
+    def reproduces(subset):
+        return need <= set(subset)
+
+    minimal, _ = ddmin(events, reproduces)
+    # 1-minimality: removing any single event breaks reproduction.
+    for event in minimal:
+        rest = [e for e in minimal if e != event]
+        assert not reproduces(rest)
+
+
+def test_ddmin_is_deterministic():
+    events = _events(7, kind="worm_drop")
+
+    def reproduces(subset):
+        return len(subset) >= 2 and subset[0].target == 0
+
+    first, _ = ddmin(events, reproduces)
+    second, _ = ddmin(events, reproduces)
+    assert first == second
+
+
+def test_narrow_times_moves_event_to_earliest_anchor():
+    anchors = [5.0, 10.0, 20.0, 40.0]
+    events = [FaultEvent(40.0, "node_fail", 3)]
+
+    def reproduces(subset):
+        # Reproduces whenever the fault lands at t >= 10.
+        return all(ev.time >= 10.0 for ev in subset)
+
+    narrowed, runs = narrow_times(events, anchors, reproduces)
+    assert narrowed == [FaultEvent(10.0, "node_fail", 3)]
+    assert runs > 0
+
+
+def test_narrow_times_keeps_time_when_no_earlier_anchor_works():
+    anchors = [5.0, 10.0]
+    events = [FaultEvent(10.0, "node_fail", 3)]
+
+    def reproduces(subset):
+        return list(subset) == events
+
+    narrowed, _ = narrow_times(events, anchors, reproduces)
+    assert narrowed == events
+
+
+def test_narrow_times_preserves_kind_target_param():
+    anchors = [2.0, 30.0]
+    events = [FaultEvent(30.0, "worm_drop", 4, param=3)]
+
+    def reproduces(subset):
+        return True
+
+    narrowed, _ = narrow_times(events, anchors, reproduces)
+    assert narrowed == [FaultEvent(2.0, "worm_drop", 4, param=3)]
