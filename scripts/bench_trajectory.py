@@ -20,6 +20,8 @@ the matching entries instead of duplicating them.
 from __future__ import annotations
 
 import argparse
+import fnmatch
+import os
 import platform
 import statistics
 import sys
@@ -36,6 +38,7 @@ from bench_kernel_events import (  # noqa: E402
     _uncontended_grants,
 )
 from bench_flit_engine import HAVE_NUMPY, run_suite as _flit_suite  # noqa: E402
+from bench_par_engine import run_par_suite  # noqa: E402
 
 from repro.sweep import append_trajectory, run_sweep  # noqa: E402
 from repro.sweep.cache import code_fingerprint  # noqa: E402
@@ -103,7 +106,34 @@ def main(argv=None) -> int:
         "--skip-flit", action="store_true",
         help="skip the dense/active/array flit engine comparison",
     )
+    parser.add_argument(
+        "--skip-par", action="store_true",
+        help="skip the partitioned-runner scaling comparison",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="GLOB",
+        help="run only workloads whose entry label matches this glob "
+             "(e.g. 'par_*' or 'kernel_*_packed'); sections with no "
+             "matching label are skipped entirely",
+    )
+    parser.add_argument(
+        "--shards", type=lambda s: [int(x) for x in s.split(",")],
+        default=[2, 4], metavar="N,M,...",
+        help="partition counts for the par section (default 2,4)",
+    )
+    parser.add_argument(
+        "--par-scenario", default="saturated_torus_32",
+        help="repro.par scenario the par section measures",
+    )
+    parser.add_argument(
+        "--par-engine", default="active",
+        choices=("dense", "active", "array"),
+        help="engine each shard runs in the par section",
+    )
     args = parser.parse_args(argv)
+
+    def wanted(label: str) -> bool:
+        return args.only is None or fnmatch.fnmatch(label, args.only)
 
     stamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
     code = code_fingerprint()[:12]
@@ -114,6 +144,8 @@ def main(argv=None) -> int:
 
     heap_best = {}
     for name, engine, fn in KERNEL_WORKLOADS:
+        if not wanted(name):
+            continue
         events, best, median = _events_per_second(fn)
         entry = {
             "timestamp": stamp,
@@ -143,8 +175,11 @@ def main(argv=None) -> int:
         print(f"{name}: {round(best):,} events/s "
               f"(median {round(median):,}){extra}")
 
-    if not args.skip_flit:
+    flit_names = ("sparse_fig3", "saturated_shufflenet", "saturated_torus")
+    if not args.skip_flit and any(wanted(f"flit_{n}") for n in flit_names):
         for name, rec in _flit_suite(scale=args.scale, repeats=3).items():
+            if not wanted(f"flit_{name}"):
+                continue
             entry = {
                 "timestamp": stamp,
                 "label": f"flit_{name}",
@@ -168,7 +203,67 @@ def main(argv=None) -> int:
                 )
             print(line)
 
-    if not args.skip_sweep:
+    if not args.skip_par and HAVE_NUMPY:
+        scenario = args.par_scenario
+        seq_labels = {
+            engine: f"par_{scenario}_seq_{engine}"
+            for engine in ("dense", "active", "array")
+        }
+        shard_labels = {k: f"par_{scenario}_k{k}" for k in args.shards}
+        shards = [k for k, lab in shard_labels.items() if wanted(lab)]
+        engines = tuple(e for e, lab in seq_labels.items() if wanted(lab))
+        if shards and args.par_engine not in engines:
+            # The suite needs the shard engine's sequential digest as the
+            # identity baseline.
+            engines += (args.par_engine,)
+        if shards:
+            suite = run_par_suite(
+                scenario, shards=shards, engines=engines,
+                par_engine=args.par_engine, repeats=2,
+            )
+            common = {
+                "timestamp": stamp,
+                "kind": "par_microbench",
+                "scenario": scenario,
+                "host_cores": os.cpu_count(),
+                "code": code,
+                **env,
+            }
+            if args.label:
+                common["note"] = args.label
+            for engine, rec in suite["sequential"].items():
+                if not wanted(seq_labels[engine]):
+                    continue
+                append_trajectory(args.out, {
+                    **common,
+                    "label": seq_labels[engine],
+                    "engine": engine,
+                    "timing": "wall",
+                    **{key: rec[key] for key in
+                       ("status", "now", "events", "run_seconds",
+                        "events_per_second", "digest")},
+                }, dedup_on=_DEDUP)
+                print(f"{seq_labels[engine]}: "
+                      f"{rec['events_per_second']:,.0f} events/s")
+            for k, rec in suite["partitioned"].items():
+                append_trajectory(args.out, {
+                    **common,
+                    "label": shard_labels[int(k)],
+                    "engine": rec["engine"],
+                    "timing": "critical_path",
+                    **{key: rec[key] for key in
+                       ("backend", "scheme", "cut_links", "window",
+                        "windows_run", "status", "now", "events",
+                        "flits_exchanged", "wall_seconds",
+                        "critical_path_seconds", "events_per_second",
+                        "speedup_vs_best_sequential", "digest")},
+                }, dedup_on=_DEDUP)
+                print(f"{shard_labels[int(k)]}: "
+                      f"{rec['events_per_second']:,.0f} events/s "
+                      f"({rec['speedup_vs_best_sequential']:.2f}x vs best "
+                      f"sequential, critical path)")
+
+    if not args.skip_sweep and wanted("fig10_sweep"):
         spec = fig10_spec(loads=[0.04, 0.06, 0.08], scale=args.scale)
         outcome = run_sweep(spec)
         entry = outcome.bench_entry(

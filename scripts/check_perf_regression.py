@@ -16,7 +16,9 @@ integer factors, not 30%.  Regenerate the baseline with::
 
 Workloads present in the current run but missing from the baseline are
 reported and added on ``--update-baseline``; workloads in the baseline
-but missing from the run are ignored (the run may be reduced).
+but missing from the run are *skipped with a warning* (the run may be a
+reduced smoke subset -- e.g. ``--only 'par_*'`` -- but a silently
+vanished label would otherwise mask a benchmark that stopped running).
 """
 
 from __future__ import annotations
@@ -80,6 +82,9 @@ def main(argv=None) -> int:
 
     baseline = json.loads(args.baseline.read_text())
     failed = False
+    for label in sorted(baseline):
+        if label not in current:
+            print(f"SKIP {label}: in baseline but missing from this run")
     for label, entry in sorted(current.items()):
         now = entry["events_per_second"]
         base = baseline.get(label, {}).get("events_per_second")

@@ -71,6 +71,12 @@ __all__ = ["ArrayLane", "encode_flit", "decode_flit"]
 # kind >= 1 for every real flit, so 0 unambiguously means "empty slot".
 K_IDLE, K_ROUTE, K_DATA, K_FTAIL, K_TAIL = 1, 2, 3, 4, 5
 _WID_SHIFT = 13
+#: Kind field in place (bits 10-12): ``code & _KIND_FIELD`` compares
+#: monotonically with ``kind << 10``, so kind tests on encoded flits need
+#: no shift.
+_KIND_FIELD = 7 << 10
+_FTAIL_FIELD = K_FTAIL << 10
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
 
 _KIND_CODE = {
     FlitKind.IDLE: K_IDLE,
@@ -610,7 +616,6 @@ class ArrayLane:
         # the adapters' transmit wires.  One candidate mask + one ready
         # computation then covers both the advance and transmit phases.
         self._e_wire = np.zeros(P + A, dtype=np.int64)
-        self._e_cand = np.zeros(P + A, dtype=bool)
         self.p_out_wire = self._e_wire[:P]
         self.a_tx_wire = self._e_wire[P:]
         self.a_tx_wire[:] = [
@@ -644,6 +649,13 @@ class ArrayLane:
         self._dbits = D.bit_length() - 1
         self._cbits = C.bit_length() - 1
         self._in_rows_s = self._in_rows << self._dbits
+        # Per-column gather indices, precomputed for every ring column so
+        # the per-tick receive gather needs no index arithmetic.  Gated on
+        # ring width: pathological delays would make the table huge.
+        if D <= 64:
+            self._in_cols = [self._in_rows_s + c for c in range(D)]
+        else:  # pragma: no cover - only for extreme propagation delays
+            self._in_cols = None
         self._flush = network.mode == IDLE_FLUSH
         #: Count of STOP/GO symbols still in flight in the reverse rings;
         #: the drain phase is skipped entirely while it is zero.
@@ -739,35 +751,51 @@ class ArrayLane:
             self._tx_drop_front(int(i))
         return True
 
-    def _emit_ready(self, now: int, front) -> bool:
-        """One shared emit pass over the candidate mask ``_e_cand``:
-        rows < P pop their slack front (``front``), rows >= P push the
-        next pre-encoded flit of their adapter's loaded record.  Ascending
-        row order keeps the dense callback order (switches, then hosts)."""
-        ew = self._e_wire
-        lastp = self.w_last_push
-        ready = self._e_cand & (lastp[ew] != now) & ~self.w_stop[ew]
-        rows_all = ready.nonzero()[0]
-        if not rows_all.size:
-            return False
+    def _emit_ready(self, now, prows, front_p, arows) -> bool:
+        """One shared emit pass over the candidate rows: ``prows`` (< P)
+        pop their slack front (pre-gathered into ``front_p``), ``arows``
+        push the next pre-encoded flit of their adapter's loaded record.
+        Candidates arrive as ascending row indices rather than a
+        full-width mask, so the wire-readiness test and all bookkeeping
+        stay proportional to the active set.  Ascending row order keeps
+        the dense callback order (switches, then hosts)."""
         P = self._P
+        n_pc = prows.size
+        if n_pc:
+            rows_all = (
+                np.concatenate((prows, arows + P)) if arows.size else prows
+            )
+        elif arows.size:
+            rows_all = arows + P
+        else:
+            return False
+        lastp = self.w_last_push
+        wr0 = self._e_wire[rows_all]
+        ok = (lastp[wr0] != now) & ~self.w_stop[wr0]
+        n_ok = int(np.count_nonzero(ok))
+        if not n_ok:
+            return False
+        if n_ok != rows_all.size:
+            rows_all = rows_all[ok]
+            wr = wr0[ok]
+        else:
+            wr = wr0
         n_p = int(np.searchsorted(rows_all, P))
-        prows = rows_all[:n_p]
-        arows = rows_all[n_p:] - P
+        prows_s = rows_all[:n_p]
+        arows_s = rows_all[n_p:] - P
         if n_p:
-            codes = front[prows]
-            self.s_head[prows] += 1
-            self.s_len[prows] -= 1
-        if arows.size:
-            pos = self.a_pos[arows]
-            for i in arows[pos == 0]:
+            codes = front_p if n_p == n_pc else front_p[ok[:n_pc]]
+            self.s_head[prows_s] += 1
+            self.s_len[prows_s] -= 1
+        if arows_s.size:
+            pos = self.a_pos[arows_s]
+            for i in arows_s[pos == 0]:
                 record = self._tx_records[i]
                 if record.injected_at is None:
                     record.injected_at = now
                     self.network._note_injection(record)
-            codes_a = self._tx_pool[arows, pos]
+            codes_a = self._tx_pool[arows_s, pos]
             codes = np.concatenate((codes, codes_a)) if n_p else codes_a
-        wr = ew[rows_all]
         lastp[wr] = now
         if self._any_dead:
             # Dead wires swallow the flit after the push is recorded; the
@@ -798,12 +826,12 @@ class ArrayLane:
                     wire.track(int(fwids[j]), wire)
             self.w_tracked[lw[fresh]] = fwids[fresh]
         if n_p:
-            op = self.p_out_port[prows]
+            op = self.p_out_port[prows_s]
             self.o_sent[op] += 1
             self.o_idle_run[op] = np.where(pidle, self.o_idle_run[op] + 1, 0)
-        if arows.size:
-            self.a_pos[arows] = pos + 1
-            for i in arows[pos + 1 >= self.a_len[arows]]:
+        if arows_s.size:
+            self.a_pos[arows_s] = pos + 1
+            for i in arows_s[pos + 1 >= self.a_len[arows_s]]:
                 self._tx_drop_front(int(i))
         return True
 
@@ -829,63 +857,79 @@ class ArrayLane:
         # Phase 2+3: deliver + absorb, switch input ports and adapter
         # receive sides in one fused gather (ports occupy rows [0, P)
         # of ``_in_rows``, matching the dense order: switches first).
+        # After the gather everything runs on the due-row index set, so
+        # the per-tick cost tracks activity rather than network size.
         w_flat = self._w_flat
-        in_idx = self._in_rows_s + col
+        in_cols = self._in_cols
+        in_idx = in_cols[col] if in_cols is not None else self._in_rows_s + col
         inc_all = w_flat[in_idx]
-        act_all = inc_all != 0
-        if np.count_nonzero(act_all):
+        rows_act = inc_all.nonzero()[0]
+        if rows_act.size:
             moved = True
-            w_flat[in_idx[act_all]] = 0  # consumed
-            wids_all = inc_all >> _WID_SHIFT
-            keep_all = act_all
+            w_flat[in_idx[rows_act]] = 0  # consumed
+            inc_act = inc_all[rows_act]
+            wids_act = inc_act >> _WID_SHIFT
             if self.network.killed:
-                keep_all = act_all & ~self._killed_mask(wids_all)
-            keep = keep_all[:P]
-            if np.count_nonzero(keep):
-                inc = inc_all[:P]
-                wids = wids_all[:P]
+                kmask = self._killed_mask(wids_act)
+                if kmask.any():
+                    keepm = ~kmask
+                    rows_act = rows_act[keepm]
+                    inc_act = inc_act[keepm]
+                    wids_act = wids_act[keepm]
+            n_sw = int(np.searchsorted(rows_act, P))
+            if n_sw:
+                rows_p = rows_act[:n_sw]
+                inc = inc_act[:n_sw]
+                wids = wids_act[:n_sw]
                 # First flit of a worm at this port: register the switch
                 # in the per-worm site index, in dense port order.
-                fresh = keep & (wids != self.p_site_wid)
-                if np.count_nonzero(fresh):
+                fresh = wids != self.p_site_wid[rows_p]
+                if fresh.any():
                     register = self.network._register_site
-                    for p in fresh.nonzero()[0]:
-                        register(int(wids[p]), self.port_switch[p])
-                    self.p_site_wid[fresh] = wids[fresh]
-                full = self.s_len >= self.s_cap
-                over = keep & full
-                if np.count_nonzero(over):
-                    self.s_ov[over] += 1
-                    keep = keep & ~full
-                rows = keep.nonzero()[0]
-                if rows.size:
+                    port_switch = self.port_switch
+                    for j in fresh.nonzero()[0]:
+                        register(int(wids[j]), port_switch[rows_p[j]])
+                    self.p_site_wid[rows_p[fresh]] = wids[fresh]
+                slen = self.s_len[rows_p]
+                full = slen >= self.s_cap[rows_p]
+                if full.any():
+                    self.s_ov[rows_p[full]] += 1
+                    keepm = ~full
+                    rows_p = rows_p[keepm]
+                    inc = inc[keepm]
+                    slen = slen[keepm]
+                if rows_p.size:
                     self._s_flat[
-                        (rows << self._cbits)
-                        + ((self.s_head[rows] + self.s_len[rows]) & self.cmask)
-                    ] = inc[rows]
-                    self.s_len[rows] += 1
-                    np.maximum(self.s_peak, self.s_len, out=self.s_peak)
+                        (rows_p << self._cbits)
+                        + ((self.s_head[rows_p] + slen) & self.cmask)
+                    ] = inc
+                    slen = slen + 1
+                    self.s_len[rows_p] = slen
+                    self.s_peak[rows_p] = np.maximum(
+                        self.s_peak[rows_p], slen
+                    )
             # Adapter receive (dense order: after switch inputs).
             # ROUTE/IDLE flits are stripped without counting as progress
             # (deadlocked IDLE fills must not look like motion); killed
             # worms drain silently; TAILs complete worms through the
             # object-path delivery bookkeeping.
-            rx_keep = keep_all[P:]
-            if np.count_nonzero(rx_keep):
-                rx_kind = (inc_all[P:] >> 10) & 7
-                payload = rx_keep & (rx_kind >= K_DATA)
+            if n_sw < rows_act.size:
+                arows_r = rows_act[n_sw:] - P
+                inc_a = inc_act[n_sw:]
+                kind_a = (inc_a >> 10) & 7
+                payload = kind_a >= K_DATA
                 n_payload = int(np.count_nonzero(payload))
                 if n_payload:
-                    self.a_rx_flits[payload] += 1
+                    self.a_rx_flits[arows_r[payload]] += 1
                     self.network._progress_events += n_payload
-                    tails = payload & (rx_kind == K_TAIL)
-                    if np.count_nonzero(tails):
-                        rx_wids = wids_all[P:]
+                    tails = payload & (kind_a == K_TAIL)
+                    if tails.any():
+                        wids_a = wids_act[n_sw:]
                         adapters = self.adapters
                         record_delivery = self.network.record_delivery
-                        for i in tails.nonzero()[0]:
-                            adapter = adapters[i]
-                            wid = int(rx_wids[i])
+                        for j in tails.nonzero()[0]:
+                            adapter = adapters[arows_r[j]]
+                            wid = int(wids_a[j])
                             adapter.received_worms.append(wid)
                             record_delivery(wid, adapter.host_id, now)
         # Figure-1 hysteresis for every port, then scatter the changed
@@ -919,8 +963,8 @@ class ArrayLane:
         # does.
         if self._tx_dirty:
             self._tx_load()
-        busy = (self.p_state != S_IDLE) | (self.s_len > 0)
-        cand = self._e_cand
+        slen_pos = self.s_len > 0
+        busy = (self.p_state != S_IDLE) | slen_pos
         if self._flush:
             srows = busy.nonzero()[0]
             if srows.size:
@@ -937,9 +981,9 @@ class ArrayLane:
             # very worm an adapter is mid-injecting.
             if self.network.killed and self._tx_abort_killed():
                 moved = True
-            cand[:P] = False
-            cand[P:] = self.a_busy
-            if self._emit_ready(now, None):
+            if self._emit_ready(
+                now, _EMPTY_I64, _EMPTY_I64, self.a_busy.nonzero()[0]
+            ):
                 moved = True
             if timer is not None:
                 timer.add("inject", perf_counter() - t0)
@@ -949,19 +993,33 @@ class ArrayLane:
         # abort check can run before the fused emit.
         if self.network.killed and self._tx_abort_killed():
             moved = True
-        front = self._s_flat[self._prange_C + (self.s_head & self.cmask)]
-        kind = (front >> 10) & 7
-        vec = self.p_bulk & (self.s_len > 0) & (kind < K_FTAIL)
-        cand[:P] = vec
-        cand[P:] = self.a_busy
-        if self._emit_ready(now, front):
+        # Bulk-streamable candidates: occupied single-branch STREAMING
+        # ports whose front is plain payload.  Gather the fronts for the
+        # (few) occupied bulk rows only; the kind test runs on the raw
+        # codes (see ``_KIND_FIELD``).
+        qrows = (self.p_bulk & slen_pos).nonzero()[0]
+        if qrows.size:
+            front_q = self._s_flat[
+                (qrows << self._cbits) + (self.s_head[qrows] & self.cmask)
+            ]
+            stream = (front_q & _KIND_FIELD) < _FTAIL_FIELD
+            prows = qrows[stream]
+            front_p = front_q[stream]
+        else:
+            prows = qrows
+            front_p = _EMPTY_I64
+        if self._emit_ready(now, prows, front_p, self.a_busy.nonzero()[0]):
             moved = True
         if timer is not None:
             t1 = perf_counter()
             timer.add("advance", t1 - t0)
             t0 = t1
 
-        scalar = busy & ~vec
+        # ``busy`` is a per-tick temporary, so the bulk rows can be
+        # cleared in place instead of building a second full-width mask.
+        scalar = busy
+        if prows.size:
+            scalar[prows] = False
         srows = scalar.nonzero()[0]
         if srows.size:
             ports = self.ports

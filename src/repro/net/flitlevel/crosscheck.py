@@ -31,9 +31,17 @@ create worms in the same order.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Tuple
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["worm_timeline", "crosscheck", "CrosscheckReport"]
+__all__ = [
+    "worm_timeline",
+    "timeline_digest",
+    "crosscheck",
+    "crosscheck_partitioned",
+    "CrosscheckReport",
+]
 
 
 def worm_timeline(net, status: str) -> Dict[str, Any]:
@@ -91,6 +99,17 @@ def worm_timeline(net, status: str) -> Dict[str, Any]:
             for host, adapter in net.adapters.items()
         },
     }
+
+
+def timeline_digest(timeline: Dict[str, Any]) -> str:
+    """A stable content hash of a canonical timeline.
+
+    Two runs are byte-identical iff their digests match; the digest is
+    what the determinism test suite compares across partition counts and
+    what bench artifacts record so a reviewer can line runs up without
+    shipping whole timelines."""
+    blob = json.dumps(timeline, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 class CrosscheckReport:
@@ -188,6 +207,38 @@ def crosscheck(
     )
 
 
+def crosscheck_partitioned(
+    scenario_name: str,
+    partitions: int,
+    engine: str = "array",
+    backend: str = "inline",
+) -> CrosscheckReport:
+    """Sequential vs K-way-partitioned run of one registered
+    :mod:`repro.par` scenario, compared on the same canonical timeline.
+
+    The baseline is :func:`repro.par.runner.run_sequential` (one engine,
+    driver-level fault barriers); the candidate is
+    :func:`repro.par.runner.run_partitioned` with ``partitions`` shards.
+    The partitioned run's merged timeline must match the sequential one
+    *byte for byte* -- the conservative windows make parallelism an
+    implementation detail, not an approximation.
+    """
+    from repro.par import run_partitioned, run_sequential
+
+    net, status = run_sequential(scenario_name, engine)
+    baseline = worm_timeline(net, status)
+    result = run_partitioned(
+        scenario_name, partitions, engine=engine, backend=backend
+    )
+    return CrosscheckReport(
+        baseline,
+        result.timeline,
+        dense_ticks=net.ticks_executed,
+        active_ticks=result.ticks_executed,
+        engines=(f"{engine}/seq", f"{engine}/K={partitions}"),
+    )
+
+
 def _smoke_scenarios():
     """Two quick scenarios covering both hot paths: a mixed-traffic torus
     (headers, grants, multicast replication) and a saturated shufflenet
@@ -241,6 +292,20 @@ def main(argv=None) -> int:
         metavar=("BASELINE", "CANDIDATE"),
         help="engine pair to compare (default: dense array)",
     )
+    parser.add_argument(
+        "--partitions", type=int, metavar="K", default=None,
+        help="also crosscheck sequential vs K-way-partitioned runs of "
+             "every repro.par scenario (engine = the candidate engine)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="with --partitions: restrict to these repro.par scenarios "
+             "(repeatable; default: all registered)",
+    )
+    parser.add_argument(
+        "--backend", default="inline", choices=("inline", "process"),
+        help="with --partitions: shard execution backend",
+    )
     args = parser.parse_args(argv)
     engines = tuple(args.engines)
     failed = False
@@ -249,6 +314,19 @@ def main(argv=None) -> int:
         print(("OK   " if report.ok else "FAIL ") + f"{name}: "
               + report.describe().splitlines()[0])
         failed |= not report.ok
+    if args.partitions is not None:
+        from repro.par import SCENARIOS
+
+        names = args.scenario or sorted(SCENARIOS)
+        for name in names:
+            report = crosscheck_partitioned(
+                name, args.partitions, engine=engines[1],
+                backend=args.backend,
+            )
+            print(("OK   " if report.ok else "FAIL ")
+                  + f"{name} [K={args.partitions}]: "
+                  + report.describe().splitlines()[0])
+            failed |= not report.ok
     return 1 if failed else 0
 
 

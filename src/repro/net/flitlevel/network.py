@@ -111,6 +111,13 @@ class FlitNetwork:
         Optional :class:`~repro.obs.Observability` bundle; worm-lifecycle
         hooks cost one pointer test each when ``None`` and are purely
         passive when set (results stay byte-identical either way).
+    shard:
+        Optional iterable of switch ids restricting which components this
+        instance *ticks*.  The full object graph (all switches, adapters,
+        wires, records) is still built -- a shard is a replica that only
+        advances its local partition; everything else stays frozen and is
+        driven externally through cut wires by :mod:`repro.par`.  Hosts
+        follow their switch.  ``None`` (the default) ticks everything.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class FlitNetwork:
         seed: int = 1,
         engine: str = "active",
         obs=None,
+        shard=None,
     ) -> None:
         if engine not in ("active", "dense", "array"):
             raise ValueError(f"unknown engine {engine!r}")
@@ -217,8 +225,37 @@ class FlitNetwork:
         # -- active-set / progress bookkeeping --------------------------------
         # Component lists in dense iteration order (dict insertion order),
         # so the active-set engine arbitrates identically to the dense loop.
-        self._switch_list = list(self.switches.values())
-        self._adapter_list = list(self.adapters.values())
+        # A shard keeps only its local components in these lists: everything
+        # downstream (hook installation, _wake_all, dense iteration, the
+        # array lane) restricts automatically.
+        self.shard = frozenset(shard) if shard is not None else None
+        if self.shard is None:
+            self._switch_list = list(self.switches.values())
+            self._adapter_list = list(self.adapters.values())
+        else:
+            unknown = self.shard - set(self.switches)
+            if unknown:
+                raise ValueError(f"shard names non-switches: {sorted(unknown)}")
+            self._switch_list = [
+                s for sid, s in self.switches.items() if sid in self.shard
+            ]
+            self._adapter_list = [
+                a
+                for hid, a in self.adapters.items()
+                if topology.host_switch(hid) in self.shard
+            ]
+            # Non-local components must never enter the active set; marking
+            # them permanently "active" makes every wake hook a no-op for
+            # them (they are not in _switch_list, so they are never ticked
+            # and never settle back out).
+            local_switches = set(self._switch_list)
+            local_adapters = set(self._adapter_list)
+            for s in self.switches.values():
+                if s not in local_switches:
+                    s._active = True
+            for a in self.adapters.values():
+                if a not in local_adapters:
+                    a._active = True
         for seq, switch in enumerate(self._switch_list):
             switch._net_seq = seq
         for seq, adapter in enumerate(self._adapter_list):
@@ -227,6 +264,11 @@ class FlitNetwork:
         #: delivered, worms injected, deliveries recorded, records churned).
         #: Replaces the per-tick _progress_signature tuple: O(1) per event.
         self._progress_events = 0
+        #: Latest tick on which a progress event fired, maintained by
+        #: run_window() so a window-driven coordinator (repro.par) can
+        #: reconstruct run()'s stall-detection clock across shards.
+        self._last_progress_tick = 0
+        self._last_progress_events = 0
         self.worms_injected = 0
         self.worm_deliveries = 0
         #: Ticks actually executed (fast-forwarded spans are excluded, so
@@ -804,3 +846,33 @@ class FlitNetwork:
                     raise DeadlockDetected(last_progress, self.pending_worms())
                 return "deadlock"
         return "timeout"
+
+    def run_window(self, until: int) -> int:
+        """Advance the clock to exactly ``until`` with no early exit.
+
+        The window-synchronized parallel runner (:mod:`repro.par`) drives
+        each shard in lockstep barrier windows: every shard must land on
+        the same tick regardless of delivery or stalls, so none of
+        :meth:`run`'s termination conditions apply here.  Status
+        (delivered / deadlock / timeout) is reconstructed by the
+        coordinator from ``_last_progress_tick``, ``_undelivered`` and the
+        scheduled-action horizon.
+
+        The active-set engine's quiescence fast-forward is preserved but
+        bounded by the window edge; externally injected cut flits keep
+        their receiving components active (``quiescent()`` inspects the
+        input wires), so the jump never skips cross-shard traffic.
+
+        Returns the number of progress events observed inside the window.
+        """
+        events_before = self._progress_events
+        while self.now < until:
+            if self._engine_active and not self._n_active:
+                nxt = self._actions[0][0] if self._actions else until
+                if nxt > self.now + 1:
+                    self.now = min(nxt, until) - 1
+            self.tick()
+            if self._progress_events != self._last_progress_events:
+                self._last_progress_events = self._progress_events
+                self._last_progress_tick = self.now
+        return self._progress_events - events_before

@@ -1,0 +1,21 @@
+"""Conservative synchronous-window parallel simulation of one scenario.
+
+Shards a :class:`~repro.net.topology.Topology` into K pieces, runs one
+flit-level engine per shard in barrier windows sized by the minimum
+cross-cut lookahead, and merges the results back into the exact byte
+timeline the sequential engines produce.  See :mod:`repro.par.runner`
+for the coordinator and :mod:`repro.par.shard` for the window-exactness
+argument.
+"""
+
+from repro.par.runner import ParResult, run_partitioned, run_sequential
+from repro.par.scenarios import SCENARIOS, ParScenario, get_scenario
+
+__all__ = [
+    "ParResult",
+    "ParScenario",
+    "SCENARIOS",
+    "get_scenario",
+    "run_partitioned",
+    "run_sequential",
+]

@@ -296,6 +296,29 @@ class Simulator:
         if until is not Infinity:
             self._now = until
 
+    def run_window(self, until: float) -> int:
+        """Window-bounded run for barrier-synchronized parallel drivers
+        (:mod:`repro.par`): process every event with timestamp ``<=
+        until``, land the clock exactly on ``until``, and return the
+        number of events processed.  Unlike :meth:`run` the caller learns
+        whether the window did any work, which a conservative coordinator
+        needs to reconstruct global quiescence across shards."""
+        until = float(until)
+        if until < self._now:
+            raise ValueError(f"until ({until}) is in the past (now={self._now})")
+        queue = self._queue
+        trace = self._trace
+        processed = 0
+        while queue and queue[0][0] <= until:
+            when, _, event = heappop(queue)
+            self._now = when
+            if trace is not None:
+                trace._record(event)
+            event._process()
+            processed += 1
+        self._now = until
+        return processed
+
     def run_process(self, generator: Generator[Event, Any, Any]) -> Any:
         """Convenience: run ``generator`` as a process to completion.
 

@@ -425,6 +425,24 @@ class PackedSimulator(Simulator):
             trace._record(event)
         event._process()
 
+    def run_window(self, until: float) -> int:
+        """Window-bounded run (see :meth:`Simulator.run_window`): the
+        bucket queue replaces the base heap, so the window loop goes
+        through :meth:`peek`/:meth:`step`, which understand open drain
+        state."""
+        until = float(until)
+        if until < self._now:
+            raise ValueError(f"until ({until}) is in the past (now={self._now})")
+        processed = 0
+        while True:
+            nxt = self.peek()
+            if nxt > until or nxt == Infinity:
+                break
+            self.step()
+            processed += 1
+        self._now = until
+        return processed
+
     def run(self, until: Optional[float] = None) -> None:
         if until is not None:
             until = float(until)

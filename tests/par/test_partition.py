@@ -1,0 +1,112 @@
+"""Deterministic topology partitioner: shapes, cuts, and invariants."""
+
+import pytest
+
+from repro.net.topology import (
+    bidirectional_shufflenet,
+    fig3_topology,
+    partition_topology,
+    torus,
+)
+
+
+def _check_invariants(topo, part, k):
+    # Every switch lands in exactly one shard.
+    seen = [sid for shard in part.shards for sid in shard]
+    assert sorted(seen) == sorted(topo.switches)
+    assert len(seen) == len(set(seen))
+    assert part.k == k
+    # shard_of is consistent with the shard lists.
+    for index, shard in enumerate(part.shards):
+        for sid in shard:
+            assert part.shard_of[sid] == index
+    # Cut links are switch-to-switch, cross-shard, in id order.
+    for lid in part.cut_links:
+        link = next(l for l in topo.links if l.id == lid)
+        assert topo.node(link.a).is_switch and topo.node(link.b).is_switch
+        assert part.shard_of[link.a] != part.shard_of[link.b]
+    assert list(part.cut_links) == sorted(part.cut_links)
+    # Non-cut switch links stay within one shard.
+    cut = set(part.cut_links)
+    for link in topo.links:
+        if topo.node(link.a).is_switch and topo.node(link.b).is_switch:
+            same = part.shard_of[link.a] == part.shard_of[link.b]
+            assert same == (link.id not in cut)
+    # Hosts follow their switch, so adapter links are never cut.
+    hosts = part.shard_hosts(topo)
+    assert sorted(h for shard in hosts for h in shard) == sorted(topo.hosts)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 8])
+def test_torus_rows_partition(k):
+    topo = torus(8, 8)
+    part = partition_topology(topo, k)
+    _check_invariants(topo, part, k)
+    if k == 1:
+        assert part.cut_links == ()
+        assert part.scheme == "single"
+    else:
+        assert part.scheme == "torus-rows"
+        # Row-banded: every shard is a contiguous band of full rows, so
+        # shard sizes differ by at most one row.
+        sizes = {len(shard) for shard in part.shards}
+        assert all(size % 8 == 0 for size in sizes)
+        # A torus band boundary cuts vertical links only: 8 per boundary,
+        # and the wraparound column makes it k boundaries, not k-1.
+        assert len(part.cut_links) == 8 * (k if k > 1 else 0)
+
+
+def test_torus_rows_balance_odd_k():
+    topo = torus(8, 8)
+    part = partition_topology(topo, 3)
+    _check_invariants(topo, part, 3)
+    sizes = sorted(len(shard) for shard in part.shards)
+    assert max(sizes) - min(sizes) <= 8  # one row
+
+
+def test_shufflenet_stage_partition():
+    topo = bidirectional_shufflenet(2, 3)
+    part = partition_topology(topo, 2)
+    _check_invariants(topo, part, 2)
+    assert part.scheme == "shufflenet-stages"
+
+
+def test_bfs_fallback_on_irregular_topology():
+    topo = fig3_topology()
+    part = partition_topology(topo, 2)
+    _check_invariants(topo, part, 2)
+    assert part.scheme == "bfs"
+    sizes = sorted(len(shard) for shard in part.shards)
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_explicit_scheme_selection():
+    topo = torus(4, 4)
+    bfs = partition_topology(topo, 2, "bfs")
+    assert bfs.scheme == "bfs"
+    rows = partition_topology(topo, 2, "torus-rows")
+    assert rows.scheme == "torus-rows"
+    with pytest.raises(ValueError):
+        partition_topology(topo, 2, "no-such-scheme")
+
+
+def test_partition_is_deterministic():
+    a = partition_topology(torus(6, 6), 4)
+    b = partition_topology(torus(6, 6), 4)
+    assert a.shards == b.shards
+    assert a.cut_links == b.cut_links
+    assert a.scheme == b.scheme
+
+
+def test_min_cut_prop_delay():
+    topo = torus(4, 4, prop_delay=4.0)
+    part = partition_topology(topo, 2)
+    assert part.min_cut_prop_delay(topo) == 4.0
+    single = partition_topology(topo, 1)
+    assert single.min_cut_prop_delay(topo) == float("inf")
+
+
+def test_describe_mentions_shape():
+    part = partition_topology(torus(4, 4), 2)
+    text = part.describe()
+    assert "k=2" in text and "cuts=" in text

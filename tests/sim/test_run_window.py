@@ -1,0 +1,67 @@
+"""Window-bounded kernel runs (``Simulator.run_window``)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+def test_run_window_processes_due_events_and_lands_on_edge():
+    sim = Simulator()
+    fired = []
+    for t in (1, 3, 5, 7):
+        sim.schedule_call(t, lambda t=t: fired.append(t))
+    assert sim.run_window(5) == 3
+    assert fired == [1, 3, 5]
+    assert sim.now == 5.0
+    assert sim.run_window(10) == 1
+    assert fired == [1, 3, 5, 7]
+    assert sim.now == 10.0
+
+
+def test_run_window_empty_window_still_advances_clock():
+    sim = Simulator()
+    assert sim.run_window(42) == 0
+    assert sim.now == 42.0
+
+
+def test_run_window_rejects_past_edge():
+    sim = Simulator()
+    sim.run_window(10)
+    with pytest.raises(ValueError, match="past"):
+        sim.run_window(5)
+
+
+def test_run_window_inclusive_edge_matches_run():
+    # An event exactly on the window edge belongs to the window -- the
+    # same boundary convention as run(until).
+    sim = Simulator()
+    fired = []
+    sim.schedule_call(5, lambda: fired.append("edge"))
+    assert sim.run_window(5) == 1
+    assert fired == ["edge"]
+
+
+def test_run_window_on_packed_engine():
+    sim = Simulator(engine="packed")
+    fired = []
+    for t in (2, 4, 9):
+        sim.schedule_call(t, lambda t=t: fired.append(t))
+    assert sim.run_window(4) == 2
+    assert sim.now == 4.0
+    assert sim.run_window(20) == 1
+    assert fired == [2, 4, 9]
+
+
+def test_run_window_counts_cascades():
+    # Events scheduled inside the window by other events run in the same
+    # window and are counted.
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule_call(1, lambda: fired.append("second"))
+
+    sim.schedule_call(1, first)
+    assert sim.run_window(3) == 2
+    assert fired == ["first", "second"]
