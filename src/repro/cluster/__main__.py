@@ -1,0 +1,6 @@
+import sys
+
+from repro.cluster.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,334 @@
+"""Fleet-facing client: routes by content address, survives dead shards.
+
+:class:`ClusterClient` holds one blocking :class:`~repro.serve.client.
+ServeClient` connection per shard (opened lazily, reopened after
+failures) and routes every operation by the job's content address —
+computed client-side with the *same* keyer the schedulers use, so client,
+gateway and every shard agree on placement with no coordination.
+
+Failover is health-probe driven re-execution, not state migration: when
+the primary for a key is unreachable, the client marks it down, probes,
+and retries on the next shard in the key's preference order.  Because
+job ids are content addresses and every executor is deterministic, the
+replica re-executes the point and returns the byte-identical record the
+dead shard would have produced — the fleet changes *where* a point runs,
+never its physics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.ring import HashRing
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import make_point
+from repro.sweep.cache import SweepCache, code_fingerprint
+
+#: Submit specs remembered for resubmit-on-failover, per client (bounded
+#: so a long-lived gateway cannot grow without limit).
+MAX_SPEC_MEMO = 65536
+
+
+class ShardDown(ConnectionError):
+    """A shard was unreachable (connect refused, reset, or timed out)."""
+
+
+class ClusterDown(ConnectionError):
+    """Every shard in a key's preference list is unreachable."""
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Address of one ``repro.serve`` instance in the fleet."""
+
+    id: str
+    host: str
+    port: int
+
+    @staticmethod
+    def from_ready_file(path) -> "ShardSpec":
+        """The shard a ``--ready-file`` announced (id defaults to host:port)."""
+        address = json.loads(Path(path).read_text())
+        return ShardSpec(
+            id=address.get("shard") or f"{address['host']}:{address['port']}",
+            host=address["host"],
+            port=address["port"],
+        )
+
+
+class ClusterClient:
+    """Blocking fan-out client for a fleet of ``repro.serve`` shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[ShardSpec],
+        replicas: int = 2,
+        timeout: float = 60.0,
+        keyer: Optional[SweepCache] = None,
+    ) -> None:
+        self.shards = {spec.id: spec for spec in shards}
+        if len(self.shards) != len(shards):
+            raise ValueError(f"duplicate shard ids: {[s.id for s in shards]}")
+        self.ring = HashRing(list(self.shards))
+        self.replicas = max(1, int(replicas))
+        self.timeout = timeout
+        self._keyer = keyer or SweepCache(
+            Path("."), code_hash=code_fingerprint()
+        )
+        self._conns: Dict[str, ServeClient] = {}
+        self._down: set = set()
+        self._specs: Dict[str, Dict[str, Any]] = {}
+
+    # -- placement -------------------------------------------------------------
+    def key_for(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> str:
+        """The job's content address — identical to every scheduler's."""
+        return self._keyer.key(make_point(kind, params, seed))
+
+    def owners(self, key: str) -> List[str]:
+        """The key's preference list (primary first, then replicas)."""
+        return self.ring.owners(key, self.replicas)
+
+    # -- connections -----------------------------------------------------------
+    def _conn(self, shard_id: str) -> ServeClient:
+        conn = self._conns.get(shard_id)
+        if conn is not None:
+            return conn
+        spec = self.shards[shard_id]
+        try:
+            conn = ServeClient(spec.host, spec.port, timeout=self.timeout)
+        except (ConnectionError, OSError) as exc:
+            self._mark_down(shard_id)
+            raise ShardDown(f"shard {shard_id} unreachable: {exc}") from exc
+        self._conns[shard_id] = conn
+        self._down.discard(shard_id)
+        return conn
+
+    def _mark_down(self, shard_id: str) -> None:
+        self._down.add(shard_id)
+        conn = self._conns.pop(shard_id, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+
+    def probe(self, shard_id: str) -> bool:
+        """One fresh health round trip; revives the shard on success."""
+        self._mark_down(shard_id)
+        try:
+            self._conn(shard_id).health()
+        except (ShardDown, ConnectionError, OSError, ServeError):
+            self._mark_down(shard_id)
+            return False
+        self._down.discard(shard_id)
+        return True
+
+    @property
+    def down(self) -> List[str]:
+        return sorted(self._down)
+
+    # -- routed calls ----------------------------------------------------------
+    def _route(self, key: str) -> List[str]:
+        """Live shards to try for ``key``, probing the down ones if needed."""
+        owners = self.owners(key)
+        live = [s for s in owners if s not in self._down]
+        if not live:
+            live = [s for s in owners if self.probe(s)]
+        if not live:
+            raise ClusterDown(
+                f"all shards for key {key[:16]}... are down: {owners}"
+            )
+        return live
+
+    def _call(self, key: str, fn, attempts: Optional[int] = None) -> Tuple[str, Dict[str, Any]]:
+        """Run ``fn(conn)`` on the key's first reachable owner.
+
+        Returns ``(shard_id, response)``.  A transport-level failure marks
+        the shard down and falls through to the next owner; protocol-level
+        rejections (:class:`ServeError`) propagate untouched.
+        """
+        last: Optional[BaseException] = None
+        for shard_id in list(self._route(key)):
+            try:
+                return shard_id, fn(self._conn(shard_id))
+            except ShardDown as exc:
+                last = exc
+            except (ConnectionError, OSError) as exc:
+                self._mark_down(shard_id)
+                last = exc
+        raise ClusterDown(
+            f"no shard answered for key {key[:16]}...: {last}"
+        ) from last
+
+    # -- verbs ----------------------------------------------------------------
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        priority: Optional[int] = None,
+        client: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit one point to its primary (or next live replica).
+
+        The response carries the usual submit fields plus ``shard``, the
+        id of the instance that accepted it.
+        """
+        key = self.key_for(kind, params, seed)
+        self._memo(key, kind=kind, params=params, seed=seed, priority=priority,
+                   client=client)
+        shard_id, response = self._call(
+            key,
+            lambda conn: conn.submit(
+                kind, params, seed=seed, priority=priority, client=client
+            ),
+        )
+        response["shard"] = shard_id
+        return response
+
+    def _memo(self, key: str, **spec: Any) -> None:
+        self._specs.pop(key, None)
+        self._specs[key] = spec
+        while len(self._specs) > MAX_SPEC_MEMO:
+            del self._specs[next(iter(self._specs))]
+
+    def result(
+        self, job: str, wait: bool = True, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Fetch a job's record, failing over (and re-executing) as needed.
+
+        If the shard holding the job dies mid-wait, the job is resubmitted
+        on the next owner from the remembered spec — determinism makes the
+        re-execution byte-identical.  Without a remembered spec a replica
+        that never saw the job answers ``unknown_job``, which propagates.
+        """
+
+        def fetch(conn: ServeClient) -> Dict[str, Any]:
+            try:
+                return conn.result(job, wait=wait, timeout=timeout)
+            except ServeError as exc:
+                if exc.code == "unknown_job" and job in self._specs:
+                    spec = self._specs[job]
+                    conn.submit(
+                        spec["kind"],
+                        spec["params"],
+                        seed=spec["seed"],
+                        priority=spec["priority"],
+                        client=spec["client"],
+                    )
+                    return conn.result(job, wait=wait, timeout=timeout)
+                raise
+
+        return self._call(job, fetch)[1]
+
+    def submit_and_wait(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+        priority: Optional[int] = None,
+        client: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Submit and block for the record — the one-call happy path."""
+        submitted = self.submit(
+            kind, params, seed=seed, priority=priority, client=client
+        )
+        return self.result(submitted["job"], wait=True, timeout=timeout)[
+            "record"
+        ]
+
+    def status(self, job: str) -> Dict[str, Any]:
+        return self._call(job, lambda conn: conn.status(job))[1]
+
+    def cancel(self, job: str) -> Dict[str, Any]:
+        return self._call(job, lambda conn: conn.cancel(job))[1]
+
+    # -- sweeps ----------------------------------------------------------------
+    def run_points(
+        self, points: Sequence, timeout: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """Fan a list of :class:`~repro.sweep.spec.SweepPoint` out, collect in order.
+
+        Submits everything up front so all shards work concurrently, then
+        collects records in point order (so the result is byte-identical
+        to :func:`repro.sweep.runner.run_sweep` on the same points,
+        shard deaths and failovers included).
+        """
+        jobs = [
+            self.submit(point.kind, point.params, seed=point.seed)["job"]
+            for point in points
+        ]
+        return [
+            self.result(job, wait=True, timeout=timeout)["record"]
+            for job in jobs
+        ]
+
+    def run_spec(self, spec, timeout: Optional[float] = None) -> List[Dict[str, Any]]:
+        """All records of a :class:`~repro.sweep.spec.SweepSpec`, in point order."""
+        return self.run_points(spec.points(), timeout=timeout)
+
+    # -- fleet introspection -----------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Probe every shard; per-shard health plus an aggregate status."""
+        shards: Dict[str, Any] = {}
+        for shard_id in sorted(self.shards):
+            try:
+                if not self.probe(shard_id):
+                    raise ShardDown(shard_id)
+                shards[shard_id] = self._conn(shard_id).health()
+            except (ShardDown, ConnectionError, OSError):
+                self._mark_down(shard_id)
+                shards[shard_id] = {"status": "down"}
+        alive = sum(1 for body in shards.values() if body.get("status") == "ok")
+        status = "ok" if alive == len(shards) else (
+            "degraded" if alive else "down"
+        )
+        return {
+            "status": status,
+            "shards_total": len(shards),
+            "shards_alive": alive,
+            "shards": shards,
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """One fleet-wide snapshot: per-shard snapshots merged in id order.
+
+        Down shards contribute nothing.  The merge is the deterministic
+        :func:`repro.obs.merge_snapshots`, so the result validates like
+        any single-instance snapshot.
+        """
+        from repro.obs import merge_snapshots
+
+        snapshots = []
+        for shard_id in sorted(self.shards):
+            if shard_id in self._down and not self.probe(shard_id):
+                continue
+            try:
+                snapshots.append(self._conn(shard_id).metrics())
+            except (ShardDown, ConnectionError, OSError):
+                self._mark_down(shard_id)
+        return merge_snapshots(snapshots)
+
+    # -- life cycle -----------------------------------------------------------
+    def close(self) -> None:
+        for shard_id in list(self._conns):
+            conn = self._conns.pop(shard_id)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

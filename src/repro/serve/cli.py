@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="SweepCache directory for read-through/write-through results",
     )
     parser.add_argument(
+        "--shard-id", default=None,
+        help="identity of this instance inside a repro.cluster fleet "
+        "(surfaced in the greeting and health responses)",
+    )
+    parser.add_argument(
         "--ready-file", type=Path, default=None,
         help="write {'host','port','pid'} JSON here once listening",
     )
@@ -98,6 +103,8 @@ def config_from_args(args: argparse.Namespace) -> ServeConfig:
         config.rate = args.rate
     if args.burst is not None:
         config.burst = args.burst
+    if args.shard_id is not None:
+        config.shard_id = args.shard_id
     return config
 
 
@@ -110,9 +117,10 @@ async def _serve(args: argparse.Namespace) -> int:
     host, port = await server.start()
     if args.ready_file is not None:
         args.ready_file.parent.mkdir(parents=True, exist_ok=True)
-        args.ready_file.write_text(
-            json.dumps({"host": host, "port": port, "pid": os.getpid()})
-        )
+        ready = {"host": host, "port": port, "pid": os.getpid()}
+        if scheduler.config.shard_id is not None:
+            ready["shard"] = scheduler.config.shard_id
+        args.ready_file.write_text(json.dumps(ready))
     if not args.quiet:
         print(
             f"repro.serve listening on {host}:{port} "

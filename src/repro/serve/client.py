@@ -49,6 +49,20 @@ class ServeClient:
         if self.greeting.get("serve") != "repro":
             raise ServeError("bad_greeting", f"unexpected banner {self.greeting!r}")
 
+    @property
+    def shard(self) -> Optional[str]:
+        """The server's fleet identity from the greeting (None standalone)."""
+        return self.greeting.get("shard")
+
+    @classmethod
+    def from_ready_file(cls, path, timeout: float = 60.0) -> "ServeClient":
+        """Connect to the address a ``--ready-file`` announced."""
+        import json
+        from pathlib import Path
+
+        address = json.loads(Path(path).read_text())
+        return cls(address["host"], address["port"], timeout=timeout)
+
     # -- transport ------------------------------------------------------------
     def _read(self) -> Dict[str, Any]:
         line = self._fh.readline()

@@ -45,7 +45,9 @@ from typing import Any, Dict, Optional
 #: Bumped on incompatible message-shape changes.
 PROTOCOL_VERSION = 1
 
-#: The greeting line the server writes on connect.
+#: The greeting line the server writes on connect.  An instance running
+#: inside a :mod:`repro.cluster` fleet adds its ``shard`` identity, so a
+#: routing client can verify it reached the shard it aimed for.
 GREETING = {"serve": "repro", "version": PROTOCOL_VERSION}
 
 #: Verbs the server understands.

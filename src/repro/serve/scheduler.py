@@ -90,10 +90,18 @@ class ServeConfig:
     #: Tokens/second granted to each client; None disables rate limiting.
     rate: Optional[float] = None
     burst: float = 20.0
+    #: Seconds of inactivity after which a client's (full) token bucket is
+    #: pruned.  A fresh bucket is indistinguishable from a full one, so
+    #: pruning never changes an admission decision — it only bounds the
+    #: per-client bucket table, which otherwise grows forever.
+    bucket_idle_s: float = 600.0
     #: Finished jobs kept addressable for ``status``/``result``.
     history: int = 1024
     #: multiprocessing start method for workers (None = platform default).
     mp_context: Optional[str] = None
+    #: Identity of this instance inside a :mod:`repro.cluster` fleet
+    #: (surfaced in the greeting and ``health``; None = standalone).
+    shard_id: Optional[str] = None
 
 
 class TokenBucket:
@@ -140,8 +148,15 @@ class Scheduler:
         self._tick = itertools.count()
         self._cond: Optional[asyncio.Condition] = None
         self._tasks: List[asyncio.Task] = []
+        # Strong references to parked backoff-retry tasks: the event loop
+        # holds tasks only weakly, so a bare create_task could be
+        # garbage-collected mid-sleep, silently dropping the retry.
+        self._retry_tasks: set = set()
         self._buckets: Dict[str, TokenBucket] = {}
-        self._finished_order: List[str] = []
+        self._next_bucket_prune = float(self.config.bucket_idle_s)
+        # Insertion-ordered finish history; a key occupies exactly one
+        # slot (dict semantics), re-finishing moves it to the back.
+        self._finished_order: Dict[str, None] = {}
         self._queued = 0
         self._running = 0
         self._t0 = time.monotonic()
@@ -166,14 +181,15 @@ class Scheduler:
     async def stop(self) -> None:
         """Cancel dispatch loops and tear the pool down."""
         self._stopping = True
-        for task in self._tasks:
+        for task in list(self._tasks) + list(self._retry_tasks):
             task.cancel()
-        for task in self._tasks:
+        for task in list(self._tasks) + list(self._retry_tasks):
             try:
                 await task
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
         self._tasks = []
+        self._retry_tasks.clear()
         self.pool.close()
 
     # -- submit path ----------------------------------------------------------
@@ -197,6 +213,7 @@ class Scheduler:
             )
         now = self.now()
         if self.config.rate is not None:
+            self._prune_buckets(now)
             bucket = self._buckets.get(client or "")
             if bucket is None:
                 bucket = TokenBucket(self.config.rate, self.config.burst, now)
@@ -249,11 +266,40 @@ class Scheduler:
         self.jobs[job.id] = job
         if job.state in FINISHED_STATES:
             self._trim_history(job.id)
+        else:
+            # A resubmitted failed/cancelled key is live again; it must not
+            # keep (or later duplicate) a history slot while it runs.
+            self._finished_order.pop(job.id, None)
+
+    def _prune_buckets(self, now: float) -> None:
+        """Drop buckets idle past the horizon *and* back at full burst.
+
+        Both conditions make pruning lossless: a pruned client's next
+        submit builds a fresh bucket, and a fresh bucket admits exactly
+        what a full one would.  Sweeps are amortized — at most one scan
+        per half horizon.
+        """
+        if now < self._next_bucket_prune:
+            return
+        horizon = self.config.bucket_idle_s
+        self._next_bucket_prune = now + max(horizon / 2.0, 1e-9)
+        stale = [
+            client
+            for client, bucket in self._buckets.items()
+            if now - bucket.stamp >= horizon
+            and bucket.tokens + (now - bucket.stamp) * bucket.rate >= bucket.burst
+        ]
+        for client in stale:
+            del self._buckets[client]
 
     def _trim_history(self, finished_id: str) -> None:
-        self._finished_order.append(finished_id)
+        # Move-to-back: one slot per key, so trimming can never evict a
+        # *newer* finish through a stale duplicate entry.
+        self._finished_order.pop(finished_id, None)
+        self._finished_order[finished_id] = None
         while len(self._finished_order) > self.config.history:
-            old_id = self._finished_order.pop(0)
+            old_id = next(iter(self._finished_order))
+            del self._finished_order[old_id]
             old = self.jobs.get(old_id)
             if old is not None and old.state in FINISHED_STATES:
                 del self.jobs[old_id]
@@ -355,11 +401,22 @@ class Scheduler:
                     await self._retry_or_fail(job, f"worker crashed: {exc}")
             else:
                 self._running -= len(batch)
+                if len(replies) != len(batch):
+                    # A lying/buggy pool must not strand jobs in RUNNING:
+                    # settle what was answered, fail the rest explicitly.
+                    self.metrics.counter("serve.reply_mismatch").add()
                 for job, reply in zip(batch, replies):
                     if reply.get("ok"):
                         self._complete(job, reply["record"])
                     else:
                         self._fail(job, "error", reply.get("error"))
+                for job in batch[len(replies):]:
+                    self._fail(
+                        job,
+                        "reply_mismatch",
+                        f"pool returned {len(replies)} replies "
+                        f"for {len(batch)} jobs",
+                    )
 
     async def _retry_or_fail(self, job: Job, detail: str) -> None:
         if job.attempts > self.config.max_retries:
@@ -384,8 +441,11 @@ class Scheduler:
                 await self._enqueue(job)
 
         # Park the job off-queue for the backoff window; its state stays
-        # RUNNING so coalescing still finds it and cancel refuses it.
-        asyncio.create_task(later())
+        # RUNNING so coalescing still finds it and cancel refuses it.  The
+        # task set keeps a strong reference for the sleep's duration.
+        task = asyncio.create_task(later())
+        self._retry_tasks.add(task)
+        task.add_done_callback(self._retry_tasks.discard)
 
     def _complete(self, job: Job, record: Dict[str, Any]) -> None:
         now = self.now()
@@ -418,6 +478,7 @@ class Scheduler:
     def health(self) -> Dict[str, Any]:
         return {
             "status": "ok",
+            "shard": self.config.shard_id,
             "uptime_s": round(self.now(), 3),
             "workers": self.pool.size,
             "workers_alive": self.pool.alive_count(),
@@ -435,6 +496,7 @@ class Scheduler:
         gauge("serve.running").set(self._running)
         gauge("serve.workers_alive").set(self.pool.alive_count())
         gauge("serve.jobs_tracked").set(len(self.jobs))
+        gauge("serve.rate_buckets").set(len(self._buckets))
         if self.cache is not None:
             gauge("serve.disk_cache_hits").set(self.cache.hits)
             gauge("serve.disk_cache_misses").set(self.cache.misses)

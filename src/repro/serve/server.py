@@ -56,8 +56,14 @@ class ServeServer:
         """Start workers and begin listening; returns the bound address."""
         self._stop_event = asyncio.Event()
         self.scheduler.start()
+        # The documented 1 MiB line cap must be the *stream's* limit too:
+        # asyncio defaults to 64 KiB, which would reject legitimate large
+        # submits long before protocol.decode_message ever saw them.
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES,
         )
         sock = self._server.sockets[0]
         self.host, self.port = sock.getsockname()[:2]
@@ -86,14 +92,29 @@ class ServeServer:
     ) -> None:
         peer = writer.get_extra_info("peername")
         peer_id = f"{peer[0]}:{peer[1]}" if peer else "unknown"
+        greeting = dict(protocol.GREETING)
+        if self.scheduler.config.shard_id is not None:
+            greeting["shard"] = self.scheduler.config.shard_id
         try:
-            writer.write(protocol.encode_message(protocol.GREETING))
+            writer.write(protocol.encode_message(greeting))
             await writer.drain()
             while True:
-                try:
-                    line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
-                    break
+                line = await self._read_line(reader)
+                if line is None:
+                    # Oversized line: it was discarded exactly through its
+                    # newline, so the stream is resynced — answer the error
+                    # and keep serving the connection.
+                    writer.write(
+                        protocol.encode_message(
+                            protocol.error_response(
+                                "bad_request",
+                                f"request line exceeds "
+                                f"{protocol.MAX_LINE_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    continue
                 if not line:
                     break
                 if not line.strip():
@@ -118,12 +139,43 @@ class ServeServer:
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass
+        except asyncio.CancelledError:
+            # Event-loop teardown with this connection parked (e.g. a
+            # ``result wait`` against a shard being killed): end quietly,
+            # the socket dies with the loop.
+            pass
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    @staticmethod
+    async def _read_line(reader: asyncio.StreamReader) -> Optional[bytes]:
+        """One request line; b"" on EOF; None for an oversized line.
+
+        ``readline`` reports an over-limit line as a bare ``ValueError``
+        (never the :class:`asyncio.LimitOverrunError` it wraps) and leaves
+        the stream mid-line; ``readuntil`` raises *without consuming*, so
+        the oversized line can be discarded precisely through its newline
+        (``LimitOverrunError.consumed`` bytes at a time) and the
+        connection stays usable for the next request.
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as exc:
+            return exc.partial  # EOF (b"" or a final unterminated line)
+        except asyncio.LimitOverrunError:
+            pass
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return None  # resynced just past the oversized line
+            except asyncio.IncompleteReadError:
+                return b""  # EOF while discarding
+            except asyncio.LimitOverrunError as exc:
+                await reader.readexactly(exc.consumed)
 
     # -- request dispatch --------------------------------------------------------
     async def _dispatch(

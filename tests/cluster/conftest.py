@@ -1,0 +1,50 @@
+"""Shared fixtures: an in-process fleet of ServerThread shards.
+
+Cluster tests run every shard inside this test process (private event
+loop per daemon thread, worker processes underneath), which keeps the
+suite fast and lets tests kill individual shards deterministically.
+The subprocess path (``LocalFleet`` / ``python -m repro.cluster``) is
+exercised by ``scripts/cluster_smoke.py`` in CI.
+"""
+
+import json
+
+from repro.cluster import ShardSpec
+from repro.serve import ServeConfig, ServerThread
+
+
+class Fleet:
+    """N live ``ServerThread`` shards with ids ``shard0..shardN-1``."""
+
+    def __init__(self, shards: int = 3, cache_dir=None, **config):
+        config.setdefault("workers", 1)
+        config.setdefault("job_timeout", 60.0)
+        self.threads = {}
+        self.specs = []
+        try:
+            for i in range(shards):
+                shard_id = f"shard{i}"
+                thread = ServerThread(
+                    ServeConfig(shard_id=shard_id, **config),
+                    cache_dir=cache_dir,
+                )
+                thread.start()
+                self.threads[shard_id] = thread
+                self.specs.append(
+                    ShardSpec(id=shard_id, host=thread.host, port=thread.port)
+                )
+        except BaseException:
+            self.stop()
+            raise
+
+    def kill(self, shard_id: str) -> None:
+        """Stop one shard for good — connections refuse from here on."""
+        self.threads.pop(shard_id).stop()
+
+    def stop(self) -> None:
+        for shard_id in list(self.threads):
+            self.kill(shard_id)
+
+
+def canonical(record):
+    return json.dumps(record, sort_keys=True, allow_nan=False).encode()

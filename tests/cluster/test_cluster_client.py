@@ -1,0 +1,151 @@
+"""ClusterClient over a live 3-shard fleet: routing, failover, identity.
+
+The acceptance property lives here: a sweep run through the sharded
+fleet — shard deaths included — returns records byte-identical to
+:func:`repro.sweep.runner.run_sweep` on the same spec.
+"""
+
+import pytest
+
+from repro.cluster import ClusterClient, ClusterDown, ShardSpec
+from repro.serve import ServeError
+from repro.sweep import SweepSpec, run_sweep
+
+from .conftest import Fleet, canonical
+
+#: The cheap real-simulation spec shared with the serve suite.
+SMALL_TESTBED = dict(
+    kind="myrinet_throughput",
+    grid={"packet_size": [1024]},
+    base={"warmup_us": 5_000.0, "measure_us": 20_000.0},
+)
+
+#: A multi-point sweep whose keys scatter across the ring.
+NAP_SWEEP = dict(
+    kind="nap",
+    grid={"tag": ["a", "b", "c", "d", "e", "f"]},
+    base={"duration": 0.05},
+)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    f = Fleet(shards=3)
+    yield f
+    f.stop()
+
+
+@pytest.fixture()
+def cluster(fleet):
+    cc = ClusterClient(fleet.specs)
+    yield cc
+    cc.close()
+
+
+# -- acceptance: determinism --------------------------------------------------
+def test_cluster_sweep_byte_identical_to_run_sweep(cluster):
+    spec = SweepSpec(**NAP_SWEEP)
+    direct = run_sweep(spec, jobs=1).records
+    via_cluster = cluster.run_spec(spec, timeout=60.0)
+    assert len(via_cluster) == len(direct) == 6
+    assert [canonical(r) for r in via_cluster] == [
+        canonical(r) for r in direct
+    ]
+
+
+def test_real_simulation_point_byte_identical(cluster):
+    spec = SweepSpec(**SMALL_TESTBED)
+    point = spec.points()[0]
+    direct = run_sweep(spec, jobs=1).records[0]
+    served = cluster.submit_and_wait(
+        point.kind, point.params, seed=point.seed, timeout=60.0
+    )
+    assert canonical(served) == canonical(direct)
+
+
+# -- placement ----------------------------------------------------------------
+def test_submit_lands_on_the_ring_primary(cluster):
+    response = cluster.submit("nap", {"duration": 0.0, "tag": "placement"})
+    job = response["job"]
+    assert job == cluster.key_for("nap", {"duration": 0.0, "tag": "placement"})
+    assert response["shard"] == cluster.owners(job)[0]
+    cluster.result(job, timeout=30.0)
+
+
+# -- failover ------------------------------------------------------------------
+def test_shard_death_mid_sweep_fails_over_and_stays_identical():
+    spec = SweepSpec(
+        kind="nap",
+        grid={"tag": ["k0", "k1", "k2", "k3", "k4", "k5"]},
+        base={"duration": 0.2},
+    )
+    direct = run_sweep(spec, jobs=1).records
+    fleet = Fleet(shards=3)
+    try:
+        with ClusterClient(fleet.specs) as cc:
+            points = spec.points()
+            submits = [
+                cc.submit(p.kind, p.params, seed=p.seed) for p in points
+            ]
+            # Kill the shard that accepted the first job while the sweep
+            # is in flight; its jobs must be re-executed on replicas.
+            victim_shard = submits[0]["shard"]
+            fleet.kill(victim_shard)
+            records = [
+                cc.result(s["job"], wait=True, timeout=60.0)["record"]
+                for s in submits
+            ]
+            assert [canonical(r) for r in records] == [
+                canonical(r) for r in direct
+            ]
+            assert victim_shard in cc.down
+            health = cc.health()
+            assert health["status"] == "degraded"
+            assert health["shards_alive"] == 2
+            assert health["shards"][victim_shard] == {"status": "down"}
+            # The merged fleet snapshot still validates without the corpse.
+            from repro.obs.report import validate_metrics
+
+            assert validate_metrics(cc.metrics()) == []
+    finally:
+        fleet.stop()
+
+
+def test_all_owners_down_raises_cluster_down():
+    fleet = Fleet(shards=2)
+    cc = ClusterClient(fleet.specs)
+    fleet.stop()
+    try:
+        with pytest.raises(ClusterDown):
+            cc.submit("nap", {"duration": 0.0, "tag": "doomed"})
+    finally:
+        cc.close()
+
+
+# -- fleet introspection -------------------------------------------------------
+def test_health_and_merged_metrics(cluster):
+    health = cluster.health()
+    assert health["status"] == "ok"
+    assert health["shards_alive"] == health["shards_total"] == 3
+    assert all(
+        body["status"] == "ok" for body in health["shards"].values()
+    )
+    snapshot = cluster.metrics()
+    from repro.obs.report import validate_metrics
+
+    assert validate_metrics(snapshot) == []
+    names = {e["name"] for e in snapshot["metrics"]}
+    assert {"serve.queue_depth", "serve.workers_alive"} <= names
+
+
+# -- protocol errors propagate untouched ---------------------------------------
+def test_unknown_job_without_memo_propagates(cluster):
+    with pytest.raises(ServeError) as err:
+        cluster.result("feedfeed" * 8, wait=False)
+    assert err.value.code == "unknown_job"
+
+
+def test_duplicate_shard_ids_rejected(fleet):
+    twice = [fleet.specs[0], ShardSpec(id=fleet.specs[0].id, host="h", port=1)]
+    with pytest.raises(ValueError):
+        ClusterClient(twice)

@@ -10,6 +10,7 @@ import json
 import multiprocessing
 import os
 import time
+from pathlib import Path
 
 import pytest
 
@@ -31,6 +32,16 @@ IS_FORK = multiprocessing.get_start_method(allow_none=False) == "fork"
 def _die(params):
     """Kill the worker process outright (crash-path tests, fork only)."""
     os._exit(17)
+
+
+@point_kind("_serve_test_flaky")
+def _flaky(params):
+    """Fail on the first run, succeed after (marker file as memory)."""
+    marker = Path(params["marker"])
+    if not marker.exists():
+        marker.write_text("x")
+        raise RuntimeError("flaky first attempt")
+    return {"attempt": "second", "tag": params.get("tag")}
 
 
 @pytest.fixture(scope="module")
@@ -200,6 +211,79 @@ def test_worker_crash_retries_then_fails_and_pool_recovers():
             retries = [e for e in snap["metrics"] if e["name"] == "serve.retries"]
             assert crashes and crashes[0]["value"] >= 2.0
             assert retries and retries[0]["value"] == 1.0
+
+
+# -- request-line limits -------------------------------------------------------
+def test_submit_line_beyond_asyncio_default_is_accepted(client):
+    """Regression: the server must raise asyncio's 64 KiB stream limit to
+    the documented 1 MiB protocol cap — a large-but-legal submit works."""
+    tag = "x" * 70_000
+    record = client.submit_and_wait(
+        "nap", {"duration": 0.0, "tag": tag}, timeout=30.0
+    )
+    assert record["napped"] == 0.0
+
+
+def test_oversized_line_rejected_and_connection_survives(client):
+    response = client.call(
+        "submit",
+        kind="nap",
+        params={"duration": 0.0, "tag": "y" * 1_100_000},
+        seq=7,
+    )
+    assert response["error"] == "bad_request"
+    assert "exceeds" in response["detail"]
+    # The connection resynchronized past the oversized line: the same
+    # socket still serves requests instead of being dropped.
+    assert client.health()["status"] == "ok"
+    record = client.submit_and_wait(
+        "nap", {"duration": 0.0, "tag": "after-oversize"}, timeout=30.0
+    )
+    assert record["napped"] == 0.0
+
+
+# -- finish-history bookkeeping ------------------------------------------------
+@pytest.mark.skipif(not IS_FORK, reason="flaky kind needs fork inheritance")
+def test_resubmitted_failure_keeps_one_history_slot(tmp_path):
+    """Regression: fail -> resubmit -> done used to leave two history
+    entries for one key, and trimming then evicted the *fresh* record."""
+    config = ServeConfig(workers=1, history=2, job_timeout=30.0)
+    with ServerThread(config) as thread:
+        with ServeClient(thread.host, thread.port) as c:
+            params = {"marker": str(tmp_path / "flaky.marker"), "tag": "slot"}
+            doomed = c.submit("_serve_test_flaky", params)["job"]
+            with pytest.raises(ServeError) as err:
+                c.result(doomed, wait=True, timeout=30.0)
+            assert err.value.code == "failed"
+            again = c.submit("_serve_test_flaky", params)
+            assert again["job"] == doomed and again["cached"] is False
+            assert c.result(doomed, wait=True, timeout=30.0)["state"] == "done"
+            # A second finished job fills history to its bound of 2; with
+            # the stale duplicate entry this trimmed the done job away.
+            c.submit_and_wait("nap", {"duration": 0.0, "tag": "filler"})
+            assert c.result(doomed, wait=False)["state"] == "done"
+            assert c.status(doomed)["attempts"] == 1
+
+
+# -- rate-bucket hygiene -------------------------------------------------------
+def test_idle_rate_buckets_are_pruned():
+    config = ServeConfig(
+        workers=1, rate=1000.0, burst=20.0, bucket_idle_s=0.2
+    )
+    with ServerThread(config) as thread:
+        with ServeClient(thread.host, thread.port) as c:
+            for who in ("ada", "bob"):
+                c.submit(
+                    "nap", {"duration": 0.0, "tag": f"rb-{who}"}, client=who
+                )
+            time.sleep(0.6)  # both buckets go idle past the horizon
+            c.submit("nap", {"duration": 0.0, "tag": "rb-cy"}, client="cy")
+            gauges = [
+                e
+                for e in c.metrics()["metrics"]
+                if e["name"] == "serve.rate_buckets"
+            ]
+            assert gauges and gauges[0]["value"] == 1.0
 
 
 def test_health_and_metrics_shapes(client):
