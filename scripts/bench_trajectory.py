@@ -39,10 +39,11 @@ from bench_kernel_events import (  # noqa: E402
 )
 from bench_flit_engine import HAVE_NUMPY, run_suite as _flit_suite  # noqa: E402
 from bench_par_engine import run_par_suite  # noqa: E402
+from bench_vc_lanes import LANE_COUNTS, run_vc_suite  # noqa: E402
 
 from repro.sweep import append_trajectory, run_sweep  # noqa: E402
 from repro.sweep.cache import code_fingerprint  # noqa: E402
-from repro.sweep.figures import fig10_spec  # noqa: E402
+from repro.sweep.figures import fig10_spec, vc_lanes_spec  # noqa: E402
 
 #: (label, simulator engine, workload thunk).  The packed variants measure
 #: the array-backed event core against the binary-heap baseline on the
@@ -109,6 +110,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-par", action="store_true",
         help="skip the partitioned-runner scaling comparison",
+    )
+    parser.add_argument(
+        "--skip-vc", action="store_true",
+        help="skip the virtual-channel lane ladder and butterfly run",
     )
     parser.add_argument(
         "--only", default=None, metavar="GLOB",
@@ -203,6 +208,31 @@ def main(argv=None) -> int:
                 )
             print(line)
 
+    vc_names = tuple(f"flit_vc_lanes{n}" for n in LANE_COUNTS) + (
+        "flit_vc_butterfly1k",
+    )
+    if not args.skip_vc and any(wanted(n) for n in vc_names):
+        # best-of-5: the vc timed regions are short (~0.1-0.3 s), so extra
+        # repeats keep the regression gate's minimum out of scheduler noise
+        for name, rec in run_vc_suite(scale=args.scale, repeats=5).items():
+            if not wanted(name):
+                continue
+            entry = {
+                "timestamp": stamp,
+                "label": name,
+                "kind": "flit_vc_microbench",
+                "code": code,
+                **env,
+                **rec,
+            }
+            if args.label:
+                entry["note"] = args.label
+            append_trajectory(args.out, entry, dedup_on=_DEDUP)
+            print(
+                f"{name}: {rec['events_per_second']:,} ticks/s "
+                f"(final tick {rec['final_tick']})"
+            )
+
     if not args.skip_par and HAVE_NUMPY:
         scenario = args.par_scenario
         seq_labels = {
@@ -262,6 +292,37 @@ def main(argv=None) -> int:
                       f"{rec['events_per_second']:,.0f} events/s "
                       f"({rec['speedup_vs_best_sequential']:.2f}x vs best "
                       f"sequential, critical path)")
+
+    if not args.skip_sweep and wanted("vc_lanes_sweep"):
+        spec = vc_lanes_spec(scale=args.scale)
+        # Grow the butterfly axis to a 2304-switch 2-ary 9-fly so the
+        # lanes-vs-scheme grid includes a 1000+-switch multistage run
+        # end-to-end (torus/clos read their own shape keys and ignore it).
+        spec.base["stages"] = 9
+        outcome = run_sweep(spec)
+        table = {
+            f"{r['topology']}/{r['mode']}/lanes={r['lanes']}": {
+                "status": r["status"],
+                "ticks": r["ticks"],
+                "lane_flits": r["lane_flits"],
+            }
+            for r in outcome.records
+        }
+        entry = outcome.bench_entry(
+            label="vc_lanes_sweep", scale=args.scale, code=code,
+            lanes_vs_scheme=table,
+        )
+        entry.update(env)
+        if args.label:
+            entry["note"] = args.label
+        append_trajectory(args.out, entry, dedup_on=_DEDUP)
+        delivered = sum(
+            1 for r in outcome.records if r["status"] == "delivered"
+        )
+        print(
+            f"vc_lanes_sweep: {delivered}/{len(outcome.records)} points "
+            f"delivered in {outcome.wall_time:.2f}s"
+        )
 
     if not args.skip_sweep and wanted("fig10_sweep"):
         spec = fig10_spec(loads=[0.04, 0.06, 0.08], scale=args.scale)

@@ -96,6 +96,8 @@ def run_fig3_scenario(
     max_ticks: int = 100_000,
     seed: int = 3,
     engine: str = "active",
+    lanes: int = 1,
+    vc_policy: str = "first_free",
     obs=None,
 ) -> Fig3Outcome:
     """Reproduce Figure 3: a two-branch multicast races a unicast whose
@@ -104,13 +106,17 @@ def run_fig3_scenario(
 
     ``engine`` selects the flit-engine implementation (``"active"`` or
     ``"dense"``); both produce byte-identical outcomes -- see
-    :mod:`repro.net.flitlevel.crosscheck`.  ``obs`` optionally attaches an
+    :mod:`repro.net.flitlevel.crosscheck`.  ``lanes`` adds virtual
+    channels per fabric link: at ``lanes >= 2`` the blocked worm's rival
+    takes a free lane, so the base scheme's Figure 3 hold-and-wait cycle
+    cannot close.  ``obs`` optionally attaches an
     :class:`~repro.obs.Observability` bundle (traced runs stay
     byte-identical to untraced ones)."""
     topology = fig3_topology()
     names = {topology.node(h).name: h for h in topology.hosts}
     net = build_switch_multicast_network(
-        topology, scheme, seed=seed, engine=engine, obs=obs
+        topology, scheme, seed=seed, engine=engine, obs=obs,
+        lanes=lanes, vc_policy=vc_policy,
     )
     mc = net.send_multicast(
         names["srcM"],

@@ -5,7 +5,9 @@ over:
 
 * :mod:`~repro.net.topology` -- switch/host/link graphs and the topologies
   evaluated in the paper (8x8 torus, 24-node bidirectional shufflenet, the
-  4-switch Myrinet testbed) plus generic builders.
+  4-switch Myrinet testbed) plus generic builders and multistage
+  interconnects (leaf-spine Clos, Benes, k-ary n-fly butterfly) that scale
+  past 1000 switches.
 * :mod:`~repro.net.updown` -- deadlock-free up/down routing (Autonet/Myrinet
   style): spanning tree, link orientation, legal shortest routes, and a
   channel-dependency-graph deadlock-freedom checker.
@@ -21,7 +23,10 @@ from repro.net.topology import (
     Link,
     Node,
     Topology,
+    benes,
     bidirectional_shufflenet,
+    butterfly,
+    clos,
     complete_switches,
     hypercube,
     line,
@@ -46,8 +51,11 @@ __all__ = [
     "Worm",
     "WormKind",
     "WormholeNetwork",
+    "benes",
     "bidirectional_shufflenet",
+    "butterfly",
     "check_deadlock_free",
+    "clos",
     "complete_switches",
     "hypercube",
     "line",

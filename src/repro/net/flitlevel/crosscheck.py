@@ -239,16 +239,19 @@ def crosscheck_partitioned(
     )
 
 
-def _smoke_scenarios():
+def _smoke_scenarios(lanes: int = 1, vc_policy: str = "first_free"):
     """Two quick scenarios covering both hot paths: a mixed-traffic torus
     (headers, grants, multicast replication) and a saturated shufflenet
-    (the bulk-streaming fast lane)."""
+    (the bulk-streaming fast lane).  ``lanes``/``vc_policy`` thread the
+    virtual-channel configuration through both networks, so the same
+    scenarios prove multi-lane runs byte-identical across engines."""
     from repro.net.flitlevel.network import FlitNetwork
     from repro.net.topology import bidirectional_shufflenet, torus
 
     def mixed(engine):
         topo = torus(3, 3)
-        net = FlitNetwork(topo, engine=engine, seed=7)
+        net = FlitNetwork(topo, engine=engine, seed=7,
+                          lanes=lanes, vc_policy=vc_policy)
         hosts = topo.hosts
         for i, src in enumerate(hosts):
             net.send_unicast(
@@ -264,7 +267,8 @@ def _smoke_scenarios():
 
     def saturated(engine):
         topo = bidirectional_shufflenet(2, 3)
-        net = FlitNetwork(topo, engine=engine, seed=21)
+        net = FlitNetwork(topo, engine=engine, seed=21,
+                          lanes=lanes, vc_policy=vc_policy)
         hosts = topo.hosts
         for i, src in enumerate(hosts):
             net.send_unicast(src, hosts[(i + 7) % len(hosts)],
@@ -293,6 +297,16 @@ def main(argv=None) -> int:
         help="engine pair to compare (default: dense array)",
     )
     parser.add_argument(
+        "--lanes", type=int, nargs="+", default=[1], metavar="L",
+        help="virtual-channel lane counts to crosscheck the smoke "
+             "scenarios under (default: 1)",
+    )
+    parser.add_argument(
+        "--vc-policy", default="first_free",
+        choices=("first_free", "round_robin"),
+        help="lane-allocation policy for multi-lane runs",
+    )
+    parser.add_argument(
         "--partitions", type=int, metavar="K", default=None,
         help="also crosscheck sequential vs K-way-partitioned runs of "
              "every repro.par scenario (engine = the candidate engine)",
@@ -309,11 +323,14 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     engines = tuple(args.engines)
     failed = False
-    for name, scenario in _smoke_scenarios().items():
-        report = crosscheck(scenario, engines=engines)
-        print(("OK   " if report.ok else "FAIL ") + f"{name}: "
-              + report.describe().splitlines()[0])
-        failed |= not report.ok
+    for lanes in args.lanes:
+        scenarios = _smoke_scenarios(lanes=lanes, vc_policy=args.vc_policy)
+        for name, scenario in scenarios.items():
+            report = crosscheck(scenario, engines=engines)
+            tag = f"{name}[lanes={lanes}]" if lanes != 1 else name
+            print(("OK   " if report.ok else "FAIL ") + f"{tag}: "
+                  + report.describe().splitlines()[0])
+            failed |= not report.ok
     if args.partitions is not None:
         from repro.par import SCENARIOS
 

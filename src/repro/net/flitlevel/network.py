@@ -92,6 +92,18 @@ class FlitNetwork:
         Per-input slack buffer size in flits.
     wire_delay:
         Link propagation delay in ticks.
+    lanes:
+        Virtual channels per switch-to-switch link.  Each lane is a full
+        wire pair with its own slack buffer and STOP/GO credit; route
+        bytes keep addressing the physical link (the lane group's *base*
+        port) and the switch allocates a lane deterministically when the
+        header byte is processed (see
+        :meth:`~repro.net.flitlevel.switch.CrossbarSwitch._select_lane`).
+        Host-adapter links always carry one lane.  ``lanes=1`` is the
+        identity mapping and byte-identical to the pre-VC fabric.
+    vc_policy:
+        Lane-allocation policy: ``"first_free"`` (fixed priority, the
+        default) or ``"round_robin"``.
     mc_idle_threshold:
         Consecutive IDLE flits before a port is flagged multicast-IDLE
         (scheme 3).
@@ -128,6 +140,8 @@ class FlitNetwork:
         restrict_to_tree: bool = False,
         slack_capacity: int = 32,
         wire_delay: int = 1,
+        lanes: int = 1,
+        vc_policy: str = "first_free",
         mc_idle_threshold: int = 16,
         flush_backoff: Tuple[int, int] = (200, 400),
         seed: int = 1,
@@ -137,6 +151,12 @@ class FlitNetwork:
     ) -> None:
         if engine not in ("active", "dense", "array"):
             raise ValueError(f"unknown engine {engine!r}")
+        if not isinstance(lanes, int) or lanes < 1:
+            raise ValueError(f"lanes must be a positive int, got {lanes!r}")
+        if vc_policy not in ("first_free", "round_robin"):
+            raise ValueError(f"unknown vc_policy {vc_policy!r}")
+        self.lanes = lanes
+        self.vc_policy = vc_policy
         self.engine = engine
         self._engine_active = engine == "active"
         self.obs = obs
@@ -178,17 +198,36 @@ class FlitNetwork:
             switch = self.switches[sid]
             for link in topology.adjacent(sid):
                 peer = link.other(sid)
-                wire_in = Wire(delay=max(1, wire_delay + int(link.prop_delay)))
-                wire_out = Wire(delay=max(1, wire_delay + int(link.prop_delay)))
-                port = switch.add_port(wire_in, wire_out)
-                self._port_of[(sid, link.id)] = port
-                self._wires.extend([wire_in, wire_out])
-                if topology.node(peer).is_host:
+                delay = max(1, wire_delay + int(link.prop_delay))
+                host_peer = topology.node(peer).is_host
+                # Virtual channels: a switch-to-switch link carries `lanes`
+                # full wire pairs, each behind its own port (slack buffer +
+                # STOP/GO credit).  Host-adapter links stay single-lane.
+                n_lanes = 1 if host_peer else lanes
+                ports = []
+                for _lane in range(n_lanes):
+                    wire_in = Wire(delay=delay)
+                    wire_out = Wire(delay=delay)
+                    ports.append(switch.add_port(wire_in, wire_out))
+                    self._wires.extend([wire_in, wire_out])
+                base = ports[0]
+                if base >= BROADCAST_BYTE:
+                    raise ValueError(
+                        f"switch {sid}: port index {base} for link {link.id} "
+                        f"exceeds the route-byte limit ({BROADCAST_BYTE - 1}); "
+                        f"a switch supports at most {BROADCAST_BYTE} ports "
+                        f"(degree x lanes) -- reduce the radix or lanes={lanes}"
+                    )
+                self._port_of[(sid, link.id)] = base
+                if n_lanes > 1:
+                    switch.register_lane_group(ports)
+                if host_peer:
                     adapter = self.adapters[peer]
-                    adapter.wire_out = wire_in   # host -> switch
-                    adapter.wire_in = wire_out   # switch -> host
+                    adapter.wire_out = switch.inputs[base].wire  # host -> switch
+                    adapter.wire_in = switch.outputs[base].wire  # switch -> host
         # Second pass: splice switch-to-switch wires so each side shares
-        # the same Wire object per direction.
+        # the same Wire object per direction, lane by lane (lane ports are
+        # consecutive from the base on both sides).
         spliced = set()
         for link in topology.links:
             if not (
@@ -201,10 +240,13 @@ class FlitNetwork:
             pa = self._port_of[(link.a, link.id)]
             pb = self._port_of[(link.b, link.id)]
             sa, sb = self.switches[link.a], self.switches[link.b]
-            # a's out wire is b's in wire and vice versa.
-            sb.inputs[pb].wire = sa.outputs[pa].wire
-            sa.inputs[pa].wire = sb.outputs[pb].wire
-        # The wires actually carrying each link's traffic (post-splice).
+            for off in range(lanes):
+                # a's out wire is b's in wire and vice versa.
+                sb.inputs[pb + off].wire = sa.outputs[pa + off].wire
+                sa.inputs[pa + off].wire = sb.outputs[pb + off].wire
+        # The wires actually carrying each link's traffic (post-splice),
+        # ordered [a->b, b->a] per lane so lane l occupies slots 2l, 2l+1
+        # (repro.par keys cut-wire batches by this ordering).
         self._link_wires: Dict[int, List[Wire]] = {}
         for link in topology.links:
             a_host = topology.node(link.a).is_host
@@ -217,8 +259,9 @@ class FlitNetwork:
                 pa = self._port_of[(link.a, link.id)]
                 pb = self._port_of[(link.b, link.id)]
                 self._link_wires[link.id] = [
-                    self.switches[link.a].outputs[pa].wire,
-                    self.switches[link.b].outputs[pb].wire,
+                    self.switches[end].outputs[port + off].wire
+                    for off in range(lanes)
+                    for end, port in ((link.a, pa), (link.b, pb))
                 ]
         self._refresh_down_ports()
 
@@ -461,12 +504,32 @@ class FlitNetwork:
         dests: Sequence[int],
         payload_bytes: int = 64,
         start_delay: int = 0,
+        strategy: str = "tree",
     ) -> int:
-        """Queue a switch-level multicast worm (tree-encoded source route)."""
+        """Queue a switch-level multicast worm (tree-encoded source route).
+
+        ``strategy`` selects the NoC-survey route shape: ``"tree"`` (the
+        paper's shortest-path tree from a single layered BFS) or
+        ``"path"`` (a caterpillar chain visiting destination switches in
+        greedy nearest-neighbour order, branching only to each local host
+        -- see :meth:`~repro.net.updown.UpDownRouting.multi_route_path`).
+        Both encode into the same header format, so every engine and
+        multicast scheme applies unchanged; long path chains are bounded
+        by the one-byte segment pointer of the header encoding.
+        """
         if not dests:
             raise ValueError("multicast needs at least one destination")
-        routes = self.routing.multi_route(src, dests, self.restrict_to_tree)
-        paths = [self._port_bytes(routes[d]) for d in dests]
+        if strategy == "tree":
+            routes = self.routing.multi_route(src, dests, self.restrict_to_tree)
+            order = list(dests)
+        elif strategy == "path":
+            routes = self.routing.multi_route_path(
+                src, dests, self.restrict_to_tree
+            )
+            order = list(routes)  # chain (visitation) order
+        else:
+            raise ValueError(f"unknown multicast strategy {strategy!r}")
+        paths = [self._port_bytes(routes[d]) for d in order]
         tree = route_tree_from_paths(paths)
         header = encode_multicast_route(tree)
         wid = next(_flit_worm_ids)

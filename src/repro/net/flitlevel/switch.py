@@ -220,6 +220,13 @@ class CrossbarSwitch:
         self.inputs: List[InputPort] = []
         self.outputs: List[OutputPort] = []
         self.down_ports: List[int] = []
+        #: Virtual-channel lane groups: base port index -> the consecutive
+        #: port indices (one per lane) multiplexed over that physical link.
+        #: Route bytes always name the base; :meth:`_select_lane` maps the
+        #: base to the lane the connection will actually hold.  Links built
+        #: with a single lane are not registered (the base maps to itself).
+        self.lane_groups: Dict[int, List[int]] = {}
+        self._lane_rr: Dict[int, int] = {}
         self.forwarded_worms = 0
         #: Active-set engine bookkeeping (see FlitNetwork._tick_active):
         #: ``_active`` registers the switch for ticking, ``_moved`` records
@@ -236,6 +243,60 @@ class CrossbarSwitch:
 
     def paired_output(self, input_index: int) -> int:
         return input_index
+
+    def register_lane_group(self, ports: List[int]) -> None:
+        """Declare that ``ports`` (consecutive, lane order) multiplex one
+        physical link; ``ports[0]`` is the base index that route bytes
+        address."""
+        base = ports[0]
+        self.lane_groups[base] = list(ports)
+        self._lane_rr[base] = 0
+
+    def _select_lane(self, base: int) -> int:
+        """Deterministic virtual-channel allocation at header time.
+
+        A route byte names the *physical* link (the lane group's base
+        port); the connection is then established on one of the group's
+        lanes, each with its own wire pair, slack buffer and STOP/GO
+        credit.  Policies (``network.vc_policy``):
+
+        ``first_free``
+            Fixed-priority: the first idle lane in lane order; when all
+            lanes are held, the least-contended lane (holder plus queued
+            waiters), ties to the lowest lane.
+        ``round_robin``
+            A per-link pointer rotates one lane per allocation; the scan
+            for an idle lane starts at the pointer.
+
+        Both read only output holder/waiting state, which every engine
+        mutates exclusively on the scalar object path in dense port order,
+        so allocation is byte-identical across dense/active/array.
+        """
+        group = self.lane_groups.get(base)
+        if group is None:
+            return base
+        outputs = self.outputs
+        if self.network.vc_policy == "round_robin":
+            n = len(group)
+            start = self._lane_rr[base]
+            self._lane_rr[base] = (start + 1) % n
+            choice = group[start]
+            for off in range(n):
+                cand = group[(start + off) % n]
+                out = outputs[cand]
+                if out.holder is None and not out.waiting:
+                    return cand
+            return choice
+        best = group[0]
+        best_load = None
+        for cand in group:
+            out = outputs[cand]
+            load = (0 if out.holder is None else 1) + len(out.waiting)
+            if load == 0:
+                return cand
+            if best_load is None or load < best_load:
+                best, best_load = cand, load
+        return best
 
     def quiescent(self) -> bool:
         """True when ticking this switch is provably a no-op: every input
@@ -309,11 +370,13 @@ class CrossbarSwitch:
                 # At (or past) the root: fan out on every down link; the
                 # climb covered nobody, so no exclusions (the crossbar can
                 # connect an input to its own port's output).
-                port.branches = [_Branch(p) for p in self.down_ports]
+                port.branches = [
+                    _Branch(self._select_lane(p)) for p in self.down_ports
+                ]
                 for branch in port.branches:
                     branch.header = [BROADCAST_BYTE]
             else:
-                port.branches = [_Branch(front.value)]
+                port.branches = [_Branch(self._select_lane(front.value))]
             port.state = InputPort.REQUESTING
             return True
         if front.multicast:
@@ -323,7 +386,7 @@ class CrossbarSwitch:
         # Unicast: strip the leading route byte.
         port.is_multicast = False
         port.slack.pop()
-        port.branches = [_Branch(front.value)]
+        port.branches = [_Branch(self._select_lane(front.value))]
         port.state = InputPort.REQUESTING
         return True
 
@@ -341,7 +404,7 @@ class CrossbarSwitch:
                 port.state = InputPort.STREAMING
                 return True
             port.slack.pop()
-            branch = _Branch(front.value)
+            branch = _Branch(self._select_lane(front.value))
             port.branches.append(branch)
             self.outputs[branch.port].request(port.index)
             port.state = InputPort.MC_GRANT

@@ -323,6 +323,35 @@ class Topology:
 # Builders
 # ---------------------------------------------------------------------------
 
+#: Hard ceiling on switches a builder will create in one call -- large
+#: enough for every 1000+-switch scenario the roadmap names, small enough
+#: to catch runaway parameters (e.g. ``bidirectional_shufflenet(10, 9)``
+#: would otherwise silently ask for nine billion switches).
+MAX_SWITCHES = 1_048_576
+
+#: Route bytes address output ports, so a switch's route-addressable port
+#: indices must stay below ``BROADCAST_BYTE`` (0xFE, see
+#: :mod:`repro.net.flitlevel.switch`): at most 254 ports per switch at one
+#: lane.  Builders check the switch degree they are about to create;
+#: :class:`~repro.net.flitlevel.network.FlitNetwork` re-validates exactly
+#: (degree x lanes + host links) once the lane count is known.
+ROUTE_PORT_LIMIT = 254
+
+
+def _check_scale(builder: str, n_switches: int, degree: int) -> None:
+    """Shared degenerate-size guard for the topology builders."""
+    if n_switches > MAX_SWITCHES:
+        raise ValueError(
+            f"{builder}: {n_switches} switches exceeds MAX_SWITCHES="
+            f"{MAX_SWITCHES}; reduce the size parameters"
+        )
+    if degree > ROUTE_PORT_LIMIT:
+        raise ValueError(
+            f"{builder}: switch degree {degree} exceeds the route-byte "
+            f"port limit ({ROUTE_PORT_LIMIT}); source-route bytes cannot "
+            f"address that many output ports"
+        )
+
 
 def torus(
     rows: int = 8,
@@ -336,6 +365,7 @@ def torus(
     """
     if rows < 2 or cols < 2:
         raise ValueError("torus needs at least 2 rows and 2 columns")
+    _check_scale("torus", rows * cols, 4 + hosts_per_switch)
     topo = Topology(name=f"torus-{rows}x{cols}")
     grid = [[topo.add_switch(f"s{r},{c}") for c in range(cols)] for r in range(rows)]
     seen = set()
@@ -391,6 +421,10 @@ def bidirectional_shufflenet(
     if p < 2 or k < 1:
         raise ValueError("shufflenet needs p >= 2 and k >= 1")
     rows = p**k
+    # Each switch fans p links forward and receives p backward (plus one
+    # host adapter); 1000+-switch instances, e.g. (2, 8) = 2048 switches,
+    # stay well inside the route-byte port budget.
+    _check_scale("bidirectional_shufflenet", k * rows, 2 * p + 1)
     topo = Topology(name=f"bshufflenet-{p},{k}")
     grid = [[topo.add_switch(f"s{c},{r}") for r in range(rows)] for c in range(k)]
     seen = set()
@@ -411,6 +445,125 @@ def bidirectional_shufflenet(
             # Adapter links are local: only switch-to-switch links carry the
             # (long) propagation delay in the Figure 11 experiments.
             topo.add_host(grid[c][r], f"h{c},{r}")
+    return topo
+
+
+def clos(
+    spines: int = 4,
+    leaves: int = 8,
+    hosts_per_leaf: int = 4,
+    prop_delay: float = 0.0,
+) -> Topology:
+    """A folded two-level Clos (leaf-spine): every leaf links to every
+    spine, hosts attach to the leaves.
+
+    Switches are named ``s{stage},{row}`` (stage 0 = spines, stage 1 =
+    leaves) so the stage-cut partitioner applies.  A spine's degree is
+    ``leaves`` and a leaf's is ``spines + hosts_per_leaf``, so both are
+    bounded by the route-byte port limit -- large fabrics should grow via
+    :func:`butterfly` / :func:`benes` stages rather than flat radix.
+    """
+    if spines < 1 or leaves < 2:
+        raise ValueError("clos needs spines >= 1 and leaves >= 2")
+    if hosts_per_leaf < 1:
+        raise ValueError("clos needs hosts_per_leaf >= 1")
+    _check_scale(
+        "clos", spines + leaves, max(leaves, spines + hosts_per_leaf)
+    )
+    topo = Topology(name=f"clos-{spines}x{leaves}")
+    spine_ids = [topo.add_switch(f"s0,{i}") for i in range(spines)]
+    leaf_ids = [topo.add_switch(f"s1,{j}") for j in range(leaves)]
+    for leaf in leaf_ids:
+        for spine in spine_ids:
+            topo.add_link(spine, leaf, prop_delay)
+    for j, leaf in enumerate(leaf_ids):
+        for h in range(hosts_per_leaf):
+            topo.add_host(leaf, f"h{j}.{h}")
+    return topo
+
+
+def butterfly(
+    k: int = 2,
+    n: int = 3,
+    hosts_per_switch: int = 1,
+    prop_delay: float = 0.0,
+) -> Topology:
+    """A k-ary n-fly butterfly MIN: ``n`` stages of ``k**(n-1)`` switches.
+
+    Between stages ``s`` and ``s+1`` a switch in row ``r`` links to every
+    row that differs from ``r`` only in base-k digit ``n-2-s`` (most
+    significant digit first), the classic destination-tag wiring.  Inner
+    switches have degree ``2k``.  Hosts attach to the first and last
+    stages (the terminal rows).  Switches are named ``s{stage},{row}``,
+    so the stage-cut partitioner applies; ``butterfly(4, 6)`` is a
+    6144-switch instance for the 1000+-switch scenarios.
+    """
+    if k < 2 or n < 2:
+        raise ValueError("butterfly needs k >= 2 and n >= 2")
+    if hosts_per_switch < 1:
+        raise ValueError("butterfly needs hosts_per_switch >= 1")
+    rows = k ** (n - 1)
+    _check_scale("butterfly", n * rows, 2 * k + hosts_per_switch)
+    topo = Topology(name=f"butterfly-{k}ary{n}")
+    grid = [
+        [topo.add_switch(f"s{s},{r}") for r in range(rows)] for s in range(n)
+    ]
+    for s in range(n - 1):
+        digit = n - 2 - s
+        span = k**digit
+        for r in range(rows):
+            hi, rest = divmod(r, span * k)
+            _old, lo = divmod(rest, span)
+            for j in range(k):
+                r2 = hi * span * k + j * span + lo
+                topo.add_link(grid[s][r], grid[s + 1][r2], prop_delay)
+    for stage in (0, n - 1):
+        for r in range(rows):
+            for h in range(hosts_per_switch):
+                topo.add_host(grid[stage][r], f"h{stage},{r}.{h}")
+    return topo
+
+
+def benes(
+    terminals: int = 8,
+    hosts_per_switch: int = 1,
+    prop_delay: float = 0.0,
+) -> Topology:
+    """A Benes rearrangeable MIN for ``terminals = 2**m`` endpoints:
+    ``2m - 1`` stages of ``terminals / 2`` two-by-two switches (two
+    back-to-back 2-ary butterflies sharing the middle stage).
+
+    Between stages ``s`` and ``s+1`` row ``r`` links straight to ``r``
+    and crossed to ``r ^ (1 << b)`` with ``b = m-2-s`` in the first half
+    and its mirror ``b = s-(m-1)`` in the second.  Hosts attach to the
+    first and last stages; switches are named ``s{stage},{row}`` for the
+    stage-cut partitioner.  ``benes(256)`` is a 1920-switch instance.
+    """
+    if terminals < 4 or terminals & (terminals - 1):
+        raise ValueError("benes needs terminals = a power of two >= 4")
+    if hosts_per_switch < 1:
+        raise ValueError("benes needs hosts_per_switch >= 1")
+    m = terminals.bit_length() - 1
+    rows = terminals // 2
+    stages = 2 * m - 1
+    _check_scale("benes", stages * rows, 4 + hosts_per_switch)
+    topo = Topology(name=f"benes-{terminals}")
+    grid = [
+        [topo.add_switch(f"s{s},{r}") for r in range(rows)]
+        for s in range(stages)
+    ]
+    for s in range(stages - 1):
+        bit = m - 2 - s if s < m - 1 else s - (m - 1)
+        for r in range(rows):
+            topo.add_link(grid[s][r], grid[s + 1][r], prop_delay)
+            r2 = r ^ (1 << bit)
+            if r2 > r:
+                topo.add_link(grid[s][r], grid[s + 1][r2], prop_delay)
+                topo.add_link(grid[s][r2], grid[s + 1][r], prop_delay)
+    for stage in (0, stages - 1):
+        for r in range(rows):
+            for h in range(hosts_per_switch):
+                topo.add_host(grid[stage][r], f"h{stage},{r}.{h}")
     return topo
 
 
@@ -670,10 +823,15 @@ def partition_torus_rows(topo: Topology, k: int) -> TopologyPartition:
 
 
 def partition_shufflenet_stages(topo: Topology, k: int) -> TopologyPartition:
-    """Cut a shufflenet into groups of whole columns (pipeline stages).
+    """Cut a staged topology into groups of whole columns (pipeline
+    stages).
 
     Shufflenet links only join adjacent stages (mod k), so grouping whole
-    stages keeps every intra-stage boundary internal.
+    stages keeps every intra-stage boundary internal.  The multistage
+    interconnect builders (:func:`clos`, :func:`benes`,
+    :func:`butterfly`) share the ``s{stage},{row}`` naming and the
+    adjacent-stages-only property, so the same cutter gives them
+    minimum-boundary stage cuts.
     """
     coords = _grid_coords(topo)
     if coords is None:
@@ -750,7 +908,9 @@ def partition_topology(
     try:
         if name.startswith(("torus-", "mesh-")):
             return partition_torus_rows(topo, k)
-        if name.startswith("bshufflenet-"):
+        if name.startswith(
+            ("bshufflenet-", "clos-", "benes-", "butterfly-")
+        ):
             return partition_shufflenet_stages(topo, k)
     except ValueError:
         pass  # fall through to the generic cutter

@@ -276,6 +276,63 @@ class UpDownRouting:
             routes[dst] = hops
         return routes
 
+    def multi_route_path(
+        self, src: int, dsts: Sequence[int], restrict_to_tree: bool = False
+    ) -> Dict[int, List[Hop]]:
+        """Path-based (chain) multicast routes per the NoC-multicast
+        taxonomy: one trunk visits the destination switches in a greedy
+        nearest-neighbour order, branching off only to each local host.
+
+        Destination ``i``'s hop list is the trunk up to its switch plus
+        the final adapter hop, so the per-destination paths are strict
+        prefix extensions of one another and their union is a caterpillar
+        tree (contrast :meth:`multi_route`, whose union is a shortest-path
+        tree).  Keys are in chain (visitation) order.
+
+        Each chain segment is a legal up*/down* route on its own, but the
+        concatenation generally is not -- path-based multicast trades the
+        tree's replication fan-out for longer worms whose deadlock freedom
+        must come from elsewhere (virtual channels; ``lanes >= 2``).
+        """
+        remaining = set(dsts)
+        if src in remaining:
+            raise ValueError("source cannot be a multicast destination")
+        if not remaining:
+            raise ValueError("multicast needs at least one destination")
+        self._refresh_if_stale()
+        topology = self.topology
+        host_switch = {d: topology.host_switch(d) for d in remaining}
+        adapter_hop: Dict[int, Hop] = {}
+        for d in remaining:
+            sw = host_switch[d]
+            link = next(
+                link for peer, link in topology.neighbors(sw) if peer == d
+            )
+            adapter_hop[d] = (sw, d, link)
+        routes: Dict[int, List[Hop]] = {}
+        trunk: List[Hop] = []
+        cursor = src  # the host first, then the last visited switch
+        while remaining:
+            best = None
+            for d in sorted(remaining):
+                target = host_switch[d]
+                length = (
+                    0 if target == cursor
+                    else len(self.route_shared(cursor, target, restrict_to_tree))
+                )
+                if best is None or length < best[0]:
+                    best = (length, d)
+            _, nxt = best
+            target = host_switch[nxt]
+            if target != cursor:
+                trunk = trunk + list(
+                    self.route_shared(cursor, target, restrict_to_tree)
+                )
+                cursor = target
+            routes[nxt] = trunk + [adapter_hop[nxt]]
+            remaining.discard(nxt)
+        return routes
+
     def route_nodes(self, src: int, dst: int, restrict_to_tree: bool = False) -> List[int]:
         """The node sequence of :meth:`route`, including endpoints."""
         hops = self.route_shared(src, dst, restrict_to_tree)

@@ -290,9 +290,16 @@ class Observability:
         ``Wire.carried``/``Wire.idles`` accumulate unconditionally in the
         wire model, so this costs nothing on the hot path — the gauges are
         filled only when a snapshot is taken.
+
+        On a multi-lane fabric (``net.lanes > 1``) each switch-to-switch
+        link additionally publishes per-lane occupancy gauges
+        (``link.lane.flits`` / ``link.lane.idles``, one per virtual
+        channel: both directions of that lane's wire pair summed), so a
+        lanes sweep can see how the allocator spreads worms across lanes.
         """
         gauge = self.metrics.gauge
         topology = net.topology
+        lanes = getattr(net, "lanes", 1)
         for link in topology.links:
             wires = net._link_wires.get(link.id)
             if not wires:
@@ -302,6 +309,16 @@ class Observability:
             tags = {"link": link.id, "a": link.a, "b": link.b}
             gauge("link.flits", **tags).set(carried)
             gauge("link.idles", **tags).set(idles)
+            if lanes > 1 and len(wires) == 2 * lanes:
+                # _link_wires orders lane l's wire pair at slots 2l, 2l+1.
+                for lane in range(lanes):
+                    pair = wires[2 * lane : 2 * lane + 2]
+                    gauge("link.lane.flits", lane=lane, **tags).set(
+                        sum(w.carried for w in pair if w is not None)
+                    )
+                    gauge("link.lane.idles", lane=lane, **tags).set(
+                        sum(w.idles for w in pair if w is not None)
+                    )
         gauge("flit.ticks_executed").set(net.ticks_executed)
         gauge("flit.now").set(net.now)
 

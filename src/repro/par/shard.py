@@ -42,9 +42,12 @@ __all__ = ["ShardHarness", "fail_node_flit", "rebind_worm_ids"]
 
 #: Forward batches: cut-direction key -> [(due_tick, encoded_flit), ...].
 #: Reverse batches: cut-direction key -> [(due_tick, stop_bool), ...].
-#: A direction key is ``(link_id, 0)`` for the a->b wire and
-#: ``(link_id, 1)`` for b->a; a given wire is *outbound* for the shard
-#: owning the sending endpoint and *inbound* for the other.
+#: A direction key is ``(link_id, slot)`` where ``slot`` indexes the
+#: link's wire list (lane ``l``'s a->b wire at slot ``2l``, its b->a wire
+#: at ``2l + 1`` -- see ``FlitNetwork._link_wires``); a single-lane fabric
+#: therefore keeps the original ``(link_id, 0)`` / ``(link_id, 1)`` keys.
+#: A given wire is *outbound* for the shard owning the sending endpoint
+#: and *inbound* for the other.
 CutKey = Tuple[int, int]
 
 
@@ -130,13 +133,14 @@ class ShardHarness:
         self.in_wires: Dict[CutKey, object] = {}
         for lid in self.partition.cut_links:
             link = topo.links[lid]
-            wire_ab, wire_ba = self.net._link_wires[lid]
-            if shard_of[link.a] == index:
-                self.out_wires[(lid, 0)] = wire_ab
-                self.in_wires[(lid, 1)] = wire_ba
-            if shard_of[link.b] == index:
-                self.out_wires[(lid, 1)] = wire_ba
-                self.in_wires[(lid, 0)] = wire_ab
+            for slot, wire in enumerate(self.net._link_wires[lid]):
+                a_to_b = slot % 2 == 0
+                if shard_of[link.a] == index:
+                    side = self.out_wires if a_to_b else self.in_wires
+                    side[(lid, slot)] = wire
+                if shard_of[link.b] == index:
+                    side = self.in_wires if a_to_b else self.out_wires
+                    side[(lid, slot)] = wire
         if self._lane is not None:
             self._out_groups = self._delay_groups(self.out_wires)
             self._in_groups = self._delay_groups(self.in_wires)

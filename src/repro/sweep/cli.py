@@ -150,6 +150,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.analysis import format_repair_table
 
         print(format_repair_table(outcome.records))
+    elif spec.kind == "vc_lanes":
+        from repro.analysis import format_table
+
+        rows = [
+            [
+                r["topology"],
+                r["mode"],
+                r["lanes"],
+                r["status"],
+                r["ticks"],
+                "/".join(str(n) for n in r["lane_flits"]),
+            ]
+            for r in outcome.records
+        ]
+        print(format_table(
+            ["topology", "scheme", "lanes", "status", "ticks", "lane flits"],
+            rows,
+        ))
     else:
         from repro.analysis import format_table
 

@@ -166,6 +166,45 @@ def repair_spec(
     )
 
 
+#: Virtual-channel grid: lanes vs switch-level multicast scheme.
+VC_LANES = [1, 2, 4]
+VC_MODES = ["idle_fill", "interrupt", "idle_flush"]
+VC_TOPOLOGIES = ["torus", "clos", "butterfly"]
+
+
+def vc_lanes_spec(
+    lanes: Optional[Sequence[int]] = None,
+    modes: Optional[Sequence[str]] = None,
+    topologies: Optional[Sequence[str]] = None,
+    engine: str = "active",
+    vc_policy: str = "first_free",
+    scale: float = 1.0,
+    seed: int = 7,
+) -> SweepSpec:
+    """Lanes-vs-scheme grid: one multicast plus cross traffic per point,
+    swept over virtual-channel count, switch-level multicast scheme, and
+    topology family (direct torus vs multistage Clos/butterfly).  The
+    figure reads completion ticks by (lanes, mode) and the per-lane
+    occupancy split that shows the extra lanes actually carrying flits."""
+    return SweepSpec(
+        kind="vc_lanes",
+        grid={
+            "topology": list(topologies or VC_TOPOLOGIES),
+            "mode": list(modes or VC_MODES),
+            "lanes": list(lanes or VC_LANES),
+        },
+        base={
+            "engine": engine,
+            "vc_policy": vc_policy,
+            "fanout": 4,
+            "unicast_pairs": 6,
+            "payload_bytes": scaled(120, scale, minimum=40),
+            "max_ticks": 200_000,
+        },
+        base_seed=seed,
+    )
+
+
 FIGURE_SPECS = {
     "fig10": fig10_spec,
     "fig11": fig11_spec,
@@ -173,4 +212,5 @@ FIGURE_SPECS = {
     "fig13": fig12_spec,  # same sweep; Figure 13 reads the loss column
     "faults": faults_spec,
     "repair": repair_spec,
+    "vc": vc_lanes_spec,
 }

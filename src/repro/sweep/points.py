@@ -10,6 +10,9 @@ figures:
   can build).
 * ``myrinet_throughput`` -- one (packet size, sender pattern) point on the
   Myrinet testbed model (Figures 12 and 13).
+* ``vc_lanes`` -- one (topology family, lanes, scheme) flit-level run of
+  the virtual-channel fabric, recording completion and per-lane
+  occupancy (the lanes-vs-scheme grid).
 """
 
 from __future__ import annotations
@@ -264,6 +267,136 @@ def _fig3_offsets(params: Dict[str, Any]) -> Dict[str, Any]:
             "flushes": sum(o.flushes for o in outcomes),
             "total_ticks": sum(o.ticks for o in outcomes),
             "statuses": [o.status for o in outcomes],
+        }
+    )
+
+
+def _vc_topology(params: Dict[str, Any]):
+    """Build the topology a ``vc_lanes`` point asked for.
+
+    Families cover the paper's direct networks (``torus``,
+    ``bshufflenet``) and the multistage interconnects (``clos``,
+    ``benes``, ``butterfly``); each takes its own shape parameters with
+    small defaults so a grid can name just the family.
+    """
+    from repro.net import topology as T
+
+    name = params["topology"]
+    if name == "torus":
+        return T.torus(int(params.get("rows", 4)), int(params.get("cols", 4)))
+    if name == "bshufflenet":
+        return T.bidirectional_shufflenet(
+            int(params.get("p", 2)), int(params.get("k", 3))
+        )
+    if name == "clos":
+        return T.clos(
+            spines=int(params.get("spines", 4)),
+            leaves=int(params.get("leaves", 8)),
+            hosts_per_leaf=int(params.get("hosts_per_leaf", 2)),
+        )
+    if name == "benes":
+        return T.benes(terminals=int(params.get("terminals", 16)))
+    if name == "butterfly":
+        return T.butterfly(
+            k=int(params.get("ary", 2)), n=int(params.get("stages", 4))
+        )
+    raise ValueError(
+        f"unknown vc_lanes topology {name!r}; known: torus, bshufflenet, "
+        "clos, benes, butterfly"
+    )
+
+
+@point_kind("vc_lanes")
+def _vc_lanes(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One flit-level run of the virtual-channel fabric.
+
+    A multicast from the first host to ``fanout`` spread-out destinations
+    plus ``unicast_pairs`` staggered cross-traffic unicasts, on one
+    (topology family, lanes, multicast scheme) grid point.  Required
+    params: ``topology`` (see :func:`_vc_topology`), ``lanes``.
+    Optional: the family's shape parameters, ``mode`` (``idle_fill`` /
+    ``interrupt`` / ``idle_flush``), ``vc_policy``, ``strategy``
+    (``tree``/``path``), ``engine``, ``fanout``, ``unicast_pairs``,
+    ``payload_bytes``, ``max_ticks``, ``seed``, ``obs``.
+
+    The record carries the canonical timeline digest (so byte-identity
+    across engines/configs is checkable straight from sweep artifacts)
+    and per-lane flit/idle totals summed over all multi-lane links --
+    the occupancy split the lanes-vs-scheme figure plots.
+    """
+    from repro.net.flitlevel.crosscheck import timeline_digest, worm_timeline
+    from repro.net.flitlevel.network import FlitNetwork
+
+    topo = _vc_topology(params)
+    lanes = int(params.get("lanes", 1))
+    net = FlitNetwork(
+        topo,
+        mode=str(params.get("mode", "idle_fill")),
+        lanes=lanes,
+        vc_policy=str(params.get("vc_policy", "first_free")),
+        seed=int(params.get("seed", 1)),
+        engine=str(params.get("engine", "active")),
+        obs=_point_obs(params),
+    )
+    hosts = topo.hosts
+    fanout = min(int(params.get("fanout", 4)), len(hosts) - 1)
+    payload = int(params.get("payload_bytes", 120))
+    src = hosts[0]
+    stride = max(1, len(hosts) // (fanout + 1))
+    dests: list = []
+    for i in range(1, len(hosts)):
+        cand = hosts[(i * stride) % len(hosts)]
+        if cand != src and cand not in dests:
+            dests.append(cand)
+        if len(dests) == fanout:
+            break
+    net.send_multicast(
+        src, dests, payload_bytes=payload,
+        strategy=str(params.get("strategy", "tree")),
+    )
+    n = len(hosts)
+    for i in range(int(params.get("unicast_pairs", 4))):
+        u_src = hosts[(2 * i + 1) % n]
+        u_dst = hosts[(2 * i + 1 + n // 2) % n]
+        if u_src == u_dst:
+            continue
+        net.send_unicast(
+            u_src, u_dst, payload_bytes=payload // 2, start_delay=13 * i
+        )
+    status = net.run(
+        max_ticks=int(params.get("max_ticks", 200_000)),
+        raise_on_deadlock=False,
+    )
+    lane_flits = [0] * lanes
+    lane_idles = [0] * lanes
+    switch_set = set(topo.switches)
+    for lid, wires in net._link_wires.items():
+        link = topo.links[lid]
+        if link.a not in switch_set or link.b not in switch_set:
+            continue  # host-adapter links stay single-lane
+        for lane in range(lanes):
+            for wire in wires[2 * lane : 2 * lane + 2]:
+                lane_flits[lane] += wire.carried
+                lane_idles[lane] += wire.idles
+    return sanitize_record(
+        {
+            "topology": params["topology"],
+            "switches": len(topo.switches),
+            "hosts": len(hosts),
+            "lanes": lanes,
+            "vc_policy": str(params.get("vc_policy", "first_free")),
+            "mode": str(params.get("mode", "idle_fill")),
+            "strategy": str(params.get("strategy", "tree")),
+            "engine": str(params.get("engine", "active")),
+            "fanout": len(dests),
+            "status": status,
+            "ticks": net.now,
+            "flushes": net.flushes,
+            "worms_injected": net.worms_injected,
+            "worm_deliveries": net.worm_deliveries,
+            "digest": timeline_digest(worm_timeline(net, status)),
+            "lane_flits": lane_flits,
+            "lane_idles": lane_idles,
         }
     )
 

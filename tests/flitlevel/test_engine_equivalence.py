@@ -63,11 +63,13 @@ def _mixed_traffic(net, hosts):
 @pytest.mark.parametrize("candidate", CANDIDATES)
 @pytest.mark.parametrize("mode", list(MulticastMode))
 @pytest.mark.parametrize("restrict", [False, True])
-def test_mixed_traffic_equivalent(mode, restrict, candidate):
+@pytest.mark.parametrize("lanes", [1, 2, 4])
+def test_mixed_traffic_equivalent(mode, restrict, candidate, lanes):
     def scenario(engine):
         topo = torus(3, 3)
         net = FlitNetwork(
             topo, engine=engine, mode=mode, restrict_to_tree=restrict, seed=7,
+            lanes=lanes,
         )
         _mixed_traffic(net, topo.hosts)
         status = net.run(max_ticks=80_000, quiet_limit=3_000,
@@ -238,13 +240,19 @@ def test_sweep_point_kind_equivalent(candidate):
 
 
 @pytest.mark.parametrize("candidate", CANDIDATES)
-def test_saturated_shufflenet_equivalent(candidate):
+@pytest.mark.parametrize("lanes,vc_policy", [
+    (1, "first_free"), (2, "first_free"), (2, "round_robin"),
+    (4, "first_free"), (4, "round_robin"),
+])
+def test_saturated_shufflenet_equivalent(candidate, lanes, vc_policy):
     # All-hosts simultaneous load on the 24-node shufflenet: no idle gaps,
     # so the active engine's settle/wake machinery is exercised while the
-    # fabric stays saturated.
+    # fabric stays saturated.  Saturation is also where lane allocation
+    # decisions pile up, so every (lanes, policy) pair runs here too.
     def scenario(engine):
         topo = bidirectional_shufflenet(2, 3)
-        net = FlitNetwork(topo, engine=engine, seed=21)
+        net = FlitNetwork(topo, engine=engine, seed=21,
+                          lanes=lanes, vc_policy=vc_policy)
         hosts = topo.hosts
         for i, src in enumerate(hosts):
             net.send_unicast(src, hosts[(i + 7) % len(hosts)],
